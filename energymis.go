@@ -1,0 +1,235 @@
+// Package energymis is a simulation library for distributed maximal
+// independent set (MIS) algorithms with low energy complexity, reproducing
+//
+//	Mohsen Ghaffari, Julian Portmann.
+//	"Distributed MIS with Low Energy and Time Complexities", PODC 2023.
+//	arXiv:2305.11639.
+//
+// The library implements the synchronous CONGEST message-passing model
+// with sleeping semantics (a node is awake or asleep each round; energy
+// complexity is the maximum number of awake rounds over nodes), the
+// paper's two algorithms, their Section 4 constant-average-energy
+// variants, and Luby's classic algorithm as the baseline:
+//
+//	algorithm      time complexity              energy complexity
+//	Luby           O(log n)                     O(log n)
+//	Algorithm1     O(log² n)                    O(log log n)
+//	Algorithm2     O(log n·log log n·log* n)    O(log² log n)
+//	Algorithm1Avg  as Algorithm1                as Algorithm1, O(1) average
+//	Algorithm2Avg  as Algorithm2                as Algorithm2, O(1) average
+//
+// Quick start:
+//
+//	g := energymis.GNP(10_000, 8.0/10_000, 1)
+//	res, err := energymis.Run(g, energymis.Algorithm1, energymis.Options{Seed: 42})
+//	if err != nil { ... }
+//	fmt.Println(res.MaxAwake, res.Rounds, res.MISSize())
+//
+// Every run is deterministic in (graph, algorithm, Options.Seed) and
+// validates nothing by itself; use RunVerified to also check maximality
+// and independence of the output.
+package energymis
+
+import (
+	"fmt"
+
+	"github.com/energymis/energymis/internal/core"
+	"github.com/energymis/energymis/internal/graph"
+	"github.com/energymis/energymis/internal/verify"
+)
+
+// Graph is an immutable undirected simple graph in CSR form. Construct one
+// with NewBuilder or the generators (GNP, RGG, ...).
+type Graph = graph.Graph
+
+// Builder accumulates edges for a Graph.
+type Builder = graph.Builder
+
+// NewBuilder returns a builder for a graph on n nodes.
+func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// FromEdges builds a graph on n nodes from an edge list.
+func FromEdges(n int, edges [][2]int) *Graph { return graph.FromEdges(n, edges) }
+
+// Algorithm selects the MIS algorithm to run.
+type Algorithm int
+
+// Available algorithms.
+const (
+	// Luby is the classic randomized MIS baseline [Lub86, ABI86]:
+	// O(log n) rounds, but every node stays awake until decided, so the
+	// energy complexity equals the time complexity.
+	Luby Algorithm = iota + 1
+	// Algorithm1 is the paper's Theorem 1.1: O(log² n) rounds with only
+	// O(log log n) awake rounds per node.
+	Algorithm1
+	// Algorithm2 is the paper's Theorem 1.2: O(log n·log log n·log* n)
+	// rounds with O(log² log n) awake rounds per node.
+	Algorithm2
+	// Algorithm1Avg augments Algorithm1 with the Section 4 pipeline for
+	// O(1) node-averaged energy.
+	Algorithm1Avg
+	// Algorithm2Avg augments Algorithm2 likewise.
+	Algorithm2Avg
+	// RegularizedLuby is the slowed-down Luby variant of Section 2.1 run
+	// in its basic form (no one-shot marking): a second baseline showing
+	// the energy blow-up Phase I's modifications remove.
+	RegularizedLuby
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string { return a.toCore().String() }
+
+func (a Algorithm) toCore() core.Algorithm {
+	switch a {
+	case Luby:
+		return core.Luby
+	case Algorithm1:
+		return core.Algorithm1
+	case Algorithm2:
+		return core.Algorithm2
+	case Algorithm1Avg:
+		return core.Algorithm1Avg
+	case Algorithm2Avg:
+		return core.Algorithm2Avg
+	case RegularizedLuby:
+		return core.RegularizedLuby
+	default:
+		return core.Algorithm(0)
+	}
+}
+
+// Algorithms lists every supported algorithm, baselines first.
+func Algorithms() []Algorithm {
+	return []Algorithm{Luby, RegularizedLuby, Algorithm1, Algorithm2, Algorithm1Avg, Algorithm2Avg}
+}
+
+// Options configures a run. The zero value is valid: seed 0, sequential
+// execution, the default CONGEST budget B = 4·ceil(log2 n) bits, and the
+// paper-faithful parameter profile.
+type Options struct {
+	// Seed drives all randomness; identical (graph, algorithm, Seed)
+	// runs produce identical outputs and measurements.
+	Seed uint64
+	// Workers > 1 executes each round's awake nodes on a worker pool.
+	// Results are identical to the sequential executor.
+	Workers int
+	// B overrides the CONGEST message budget in bits (0 = default).
+	B int
+	// Advanced exposes each phase's constants; nil uses defaults.
+	Advanced *core.Options
+}
+
+func (o Options) toCore() core.Options {
+	opts := core.DefaultOptions()
+	if o.Advanced != nil {
+		opts = *o.Advanced
+	}
+	opts.Seed = o.Seed
+	opts.Workers = o.Workers
+	opts.B = o.B
+	return opts
+}
+
+// PhaseStats reports one phase's contribution to a composed run.
+type PhaseStats struct {
+	Name     string
+	Rounds   int
+	MaxAwake int
+	AvgAwake float64
+	Messages int64
+}
+
+// Result reports a run's output and measured complexity.
+type Result struct {
+	Algorithm Algorithm
+	// InSet[v] reports whether node v is in the computed MIS.
+	InSet []bool
+
+	// Rounds is the time complexity: total synchronous rounds.
+	Rounds int
+	// MaxAwake is the energy complexity: the maximum number of awake
+	// rounds over all nodes.
+	MaxAwake int
+	// AvgAwake is the node-averaged energy.
+	AvgAwake float64
+	// P99Awake is the 99th percentile of per-node awake rounds.
+	P99Awake int
+
+	// AwakePerNode is each node's total awake rounds — the per-node
+	// energy spend (e.g. for battery-lifetime analyses).
+	AwakePerNode []int64
+
+	Messages int64 // CONGEST messages sent
+	BitsMax  int   // largest single message, in bits
+	// CongestViolations counts messages exceeding the model budget
+	// (always 0 for the shipped algorithms).
+	CongestViolations int64
+
+	Phases []PhaseStats
+	// Diag carries structural diagnostics (residual degrees, component
+	// sizes, spanning-tree depth, retries).
+	Diag core.PhaseDiag
+}
+
+// MISSize returns the number of nodes in the computed set.
+func (r *Result) MISSize() int { return verify.Count(r.InSet) }
+
+// Run executes the selected algorithm on g.
+func Run(g *Graph, algo Algorithm, opts Options) (*Result, error) {
+	ca := algo.toCore()
+	if ca == 0 {
+		return nil, fmt.Errorf("energymis: unknown algorithm %d", int(algo))
+	}
+	cres, err := core.Run(g, ca, opts.toCore())
+	if err != nil {
+		return nil, err
+	}
+	return fromCore(algo, cres), nil
+}
+
+// RunVerified runs the algorithm and additionally checks that the output
+// is a maximal independent set of g.
+func RunVerified(g *Graph, algo Algorithm, opts Options) (*Result, error) {
+	res, err := Run(g, algo, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := Check(g, res.InSet); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func fromCore(algo Algorithm, cres *core.Result) *Result {
+	r := &Result{
+		Algorithm:         algo,
+		InSet:             cres.InSet,
+		Rounds:            cres.Summary.Rounds,
+		MaxAwake:          cres.Summary.MaxAwake,
+		AvgAwake:          cres.Summary.AvgAwake,
+		P99Awake:          cres.Summary.P99Awake,
+		AwakePerNode:      cres.AwakePerNode,
+		Messages:          cres.Summary.MsgsSent,
+		BitsMax:           cres.Summary.BitsMax,
+		CongestViolations: cres.Summary.Violations,
+		Diag:              cres.Diag,
+	}
+	for _, p := range cres.Summary.Phases {
+		r.Phases = append(r.Phases, PhaseStats{
+			Name:     p.Name,
+			Rounds:   p.Rounds,
+			MaxAwake: p.MaxAwake,
+			AvgAwake: p.AvgAwake,
+			Messages: p.MsgsSent,
+		})
+	}
+	return r
+}
+
+// Check validates that inSet is a maximal independent set of g.
+func Check(g *Graph, inSet []bool) error { return verify.Check(g, inSet) }
+
+// GreedyMIS computes a sequential maximal independent set (the
+// verification oracle; not a distributed algorithm).
+func GreedyMIS(g *Graph) []bool { return verify.GreedyMIS(g) }

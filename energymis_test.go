@@ -1,0 +1,90 @@
+package energymis
+
+import (
+	"testing"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	g := GNP(2000, 8.0/2000, 1)
+	for _, algo := range Algorithms() {
+		res, err := RunVerified(g, algo, Options{Seed: 42})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if res.MISSize() == 0 {
+			t.Fatalf("%s: empty MIS", algo)
+		}
+		if res.Rounds <= 0 || res.MaxAwake <= 0 {
+			t.Fatalf("%s: missing measurements: %+v", algo, res)
+		}
+		if res.MaxAwake > res.Rounds {
+			t.Fatalf("%s: energy %d above time %d", algo, res.MaxAwake, res.Rounds)
+		}
+		if res.CongestViolations != 0 {
+			t.Fatalf("%s: CONGEST violations", algo)
+		}
+	}
+}
+
+func TestPublicAPIPhases(t *testing.T) {
+	g := GNP(1000, 0.3, 2)
+	res, err := Run(g, Algorithm1, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Phases) < 3 {
+		t.Fatalf("expected >=3 phases, got %d", len(res.Phases))
+	}
+	sum := 0
+	for _, p := range res.Phases {
+		sum += p.Rounds
+	}
+	if sum != res.Rounds {
+		t.Fatalf("phase rounds %d != total %d", sum, res.Rounds)
+	}
+}
+
+func TestPublicAPIBuilder(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	g := b.Build()
+	res, err := RunVerified(g, Luby, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MISSize() != 2 {
+		t.Fatalf("P4 MIS size %d", res.MISSize())
+	}
+}
+
+func TestPublicAPIUnknownAlgorithm(t *testing.T) {
+	if _, err := Run(Path(3), Algorithm(0), Options{}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestGreedyOracle(t *testing.T) {
+	g := RGG(500, 8, 4)
+	if err := Check(g, GreedyMIS(g)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneratorsExported(t *testing.T) {
+	gs := []*Graph{
+		GNP(100, 0.05, 1), RGG(100, 6, 1), BarabasiAlbert(100, 2, 1),
+		Grid2D(5, 5), Torus2D(5, 5), Cycle(9), Path(9), Star(9),
+		Complete(9), RandomTree(50, 1), NearRegular(60, 4, 1), CliqueChain(3, 4),
+		FromEdges(3, [][2]int{{0, 1}}),
+	}
+	for i, g := range gs {
+		if g.N() == 0 {
+			t.Fatalf("generator %d produced empty graph", i)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("generator %d: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+// Command sensornet models the application the paper's introduction
+// motivates: battery-powered radios scattered over an area (a random
+// geometric graph) that must elect a backbone (an MIS) while spending as
+// few awake slots as possible.
+//
+// Each awake round costs one unit of battery. The example compares how
+// the energy budget is spent under Luby's algorithm, Algorithm 1, and the
+// constant-average-energy variant, and reports battery-lifetime style
+// statistics: the worst node, percentiles, and the fraction of sensors
+// that finished within a small fixed budget.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	energymis "github.com/energymis/energymis"
+)
+
+func main() {
+	const (
+		nodes  = 20_000
+		avgDeg = 12
+		budget = 16 // awake slots a cheap sensor battery tolerates
+	)
+	g := energymis.RGG(nodes, avgDeg, 7)
+	fmt.Printf("sensor field: n=%d m=%d maxDeg=%d  (budget: %d awake slots)\n\n",
+		g.N(), g.M(), g.MaxDegree(), budget)
+
+	fmt.Printf("%-16s %8s %9s %8s %8s %8s %14s\n",
+		"algorithm", "rounds", "maxAwake", "p50", "p99", "avg", "within-budget")
+	for _, algo := range []energymis.Algorithm{
+		energymis.Luby, energymis.Algorithm1, energymis.Algorithm1Avg,
+	} {
+		res, err := energymis.RunVerified(g, algo, energymis.Options{Seed: 3})
+		if err != nil {
+			log.Fatal(err)
+		}
+		awake := append([]int64(nil), res.AwakePerNode...)
+		sort.Slice(awake, func(i, j int) bool { return awake[i] < awake[j] })
+		within := sort.Search(len(awake), func(i int) bool { return awake[i] > budget })
+		fmt.Printf("%-16s %8d %9d %8d %8d %8.2f %13.2f%%\n",
+			algo, res.Rounds, res.MaxAwake,
+			awake[len(awake)/2], awake[len(awake)*99/100], res.AvgAwake,
+			100*float64(within)/float64(len(awake)))
+	}
+
+	fmt.Println("\nReading: under Luby every sensor stays awake until it decides, so")
+	fmt.Println("the whole field pays Θ(log n) battery slots. The energy-aware")
+	fmt.Println("algorithms put almost every sensor to sleep within a handful of")
+	fmt.Println("slots; only the unluckiest shattered component pays the Phase III")
+	fmt.Println("constants, and the Section 4 variant drives the average to O(1).")
+}

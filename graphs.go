@@ -1,0 +1,45 @@
+package energymis
+
+import "github.com/energymis/energymis/internal/graph"
+
+// Graph generators. All are deterministic in their seed.
+
+// GNP samples an Erdős–Rényi random graph G(n, p).
+func GNP(n int, p float64, seed uint64) *Graph { return graph.GNP(n, p, seed) }
+
+// RGG samples a random geometric graph with expected average degree
+// avgDeg: n points uniform in the unit square, connected within the
+// corresponding radius. This is the standard model for the sensor/wireless
+// networks that motivate the energy measure.
+func RGG(n int, avgDeg float64, seed uint64) *Graph { return graph.RGG(n, avgDeg, seed) }
+
+// BarabasiAlbert grows a preferential-attachment graph with m edges per
+// new node (heavy-tailed degrees).
+func BarabasiAlbert(n, m int, seed uint64) *Graph { return graph.BarabasiAlbert(n, m, seed) }
+
+// Grid2D builds a rows×cols grid.
+func Grid2D(rows, cols int) *Graph { return graph.Grid2D(rows, cols) }
+
+// Torus2D builds a rows×cols torus.
+func Torus2D(rows, cols int) *Graph { return graph.Torus2D(rows, cols) }
+
+// Cycle builds the n-cycle.
+func Cycle(n int) *Graph { return graph.Cycle(n) }
+
+// Path builds the n-node path.
+func Path(n int) *Graph { return graph.Path(n) }
+
+// Star builds a star with center 0 and n-1 leaves.
+func Star(n int) *Graph { return graph.Star(n) }
+
+// Complete builds the clique K_n.
+func Complete(n int) *Graph { return graph.Complete(n) }
+
+// RandomTree samples a random labeled tree.
+func RandomTree(n int, seed uint64) *Graph { return graph.RandomTree(n, seed) }
+
+// NearRegular builds a random graph with degrees close to d.
+func NearRegular(n, d int, seed uint64) *Graph { return graph.NearRegular(n, d, seed) }
+
+// CliqueChain builds k cliques of size s connected in a chain.
+func CliqueChain(k, s int) *Graph { return graph.CliqueChain(k, s) }

@@ -1,0 +1,96 @@
+// Package cluster provides the labeled-distance-tree (LDT) machinery of
+// Section 2.3: rooted spanning trees in which every node knows its parent,
+// its depth, and a global depth bound D, enabling broadcast and
+// convergecast with O(1) awake rounds per node and O(D) total rounds.
+//
+// The scheduling trick (from [AMP22, BM21a], restated in the paper): in a
+// broadcast, a node at depth d receives from its parent exactly at window
+// round d−1 and forwards at round d; in a convergecast, a node at depth d
+// receives from its children at window round D−2−d and sends its aggregate
+// at round D−1−d. Every node is awake for at most two rounds per tree
+// operation, and can compute those rounds locally from its depth.
+package cluster
+
+// Tree is the per-node LDT state.
+type Tree struct {
+	Parent int32 // local node index of the parent; -1 at the root
+	Depth  int32
+	CID    int32 // cluster identifier (the root's node index)
+}
+
+// IsRoot reports whether the node is its cluster's root.
+func (t *Tree) IsRoot() bool { return t.Parent < 0 }
+
+// Singleton initializes the tree as a fresh singleton cluster rooted at
+// the node itself.
+func Singleton(self int32) Tree {
+	return Tree{Parent: -1, Depth: 0, CID: self}
+}
+
+// BroadcastSendRound returns the round (offset within a window of length
+// D) at which a node of depth d forwards a broadcast message.
+func BroadcastSendRound(d int) int { return d }
+
+// BroadcastListenRound returns the window round at which a node of depth d
+// receives the broadcast from its parent, or -1 for the root (which
+// originates the message).
+func BroadcastListenRound(d int) int { return d - 1 }
+
+// ConvergecastSendRound returns the window round at which a node of depth
+// d sends its aggregate to its parent (the root never sends).
+func ConvergecastSendRound(d, depthBound int) int { return depthBound - 1 - d }
+
+// ConvergecastListenRound returns the window round at which a node of
+// depth d receives its children's aggregates, or -1 when the node cannot
+// have children within the bound.
+func ConvergecastListenRound(d, depthBound int) int {
+	r := depthBound - 2 - d
+	if r < 0 {
+		return -1
+	}
+	return r
+}
+
+// OpAwakeRounds lists the (at most two) window rounds a node of depth d is
+// awake during a tree operation of the given kind.
+type OpKind int
+
+// Tree operation kinds.
+const (
+	OpBroadcast OpKind = iota + 1
+	OpConvergecast
+)
+
+// AwakeRounds returns the window-relative rounds a node of depth d must be
+// awake for the operation, in increasing order.
+func AwakeRounds(op OpKind, d, depthBound int) []int {
+	switch op {
+	case OpBroadcast:
+		if d == 0 {
+			return []int{0}
+		}
+		if d >= depthBound {
+			return nil
+		}
+		return []int{d - 1, d}
+	case OpConvergecast:
+		listen := ConvergecastListenRound(d, depthBound)
+		send := ConvergecastSendRound(d, depthBound)
+		if d == 0 {
+			// The root only aggregates; it has no parent to send to.
+			if listen < 0 {
+				return nil
+			}
+			return []int{listen}
+		}
+		if send < 0 {
+			return nil
+		}
+		if listen < 0 {
+			return []int{send}
+		}
+		return []int{listen, send}
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,342 @@
+// Package core composes the phase implementations into the paper's
+// algorithms:
+//
+//   - Algorithm 1 (Theorem 1.1): Phase I regularized Luby (phase1) →
+//     Phase II shattering (shatter) → Phase III merging + finisher
+//     (phase3, ModeAlg1). Time O(log² n), energy O(log log n).
+//   - Algorithm 2 (Theorem 1.2): Phase I degree estimation (degreduce) →
+//     Phase II → Phase III (phase3, ModeAlg2). Time
+//     O(log n·log log n·log* n), energy O(log² log n).
+//   - Luby's algorithm (the baseline the paper compares against).
+//
+// Each phase runs as its own engine invocation on the residual subgraph
+// left by the previous one; the accumulator maps per-phase energy back to
+// original node IDs, and a one-round all-awake synchronization is charged
+// at each phase boundary (the paper's Phase II starts with every node
+// awake, which plays the same role).
+package core
+
+import (
+	"fmt"
+
+	"github.com/energymis/energymis/internal/avgenergy"
+	"github.com/energymis/energymis/internal/degreduce"
+	"github.com/energymis/energymis/internal/graph"
+	"github.com/energymis/energymis/internal/luby"
+	"github.com/energymis/energymis/internal/phase1"
+	"github.com/energymis/energymis/internal/phase3"
+	"github.com/energymis/energymis/internal/shatter"
+	"github.com/energymis/energymis/internal/sim"
+	"github.com/energymis/energymis/internal/stats"
+	"github.com/energymis/energymis/internal/verify"
+)
+
+// Algorithm selects which MIS algorithm to run.
+type Algorithm int
+
+// Algorithms.
+const (
+	// Luby is the classic O(log n)-time, O(log n)-energy baseline.
+	Luby Algorithm = iota + 1
+	// Algorithm1 is Theorem 1.1: O(log² n) time, O(log log n) energy.
+	Algorithm1
+	// Algorithm2 is Theorem 1.2: O(log n·log log n·log* n) time,
+	// O(log² log n) energy.
+	Algorithm2
+	// Algorithm1Avg is Algorithm 1 with the Section 4 extension: O(1)
+	// node-averaged energy, same worst-case bounds.
+	Algorithm1Avg
+	// Algorithm2Avg is Algorithm 2 with the Section 4 extension.
+	Algorithm2Avg
+	// RegularizedLuby is the slowed-down Luby of Section 2.1 run to
+	// completion without the one-shot restriction: O(log Δ·log n) time
+	// and energy (the second baseline, used by ablation A1).
+	RegularizedLuby
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case Luby:
+		return "luby"
+	case Algorithm1:
+		return "algorithm1"
+	case Algorithm2:
+		return "algorithm2"
+	case Algorithm1Avg:
+		return "algorithm1-avg"
+	case Algorithm2Avg:
+		return "algorithm2-avg"
+	case RegularizedLuby:
+		return "regularized-luby"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Options configures a run. The zero value is not valid; use
+// DefaultOptions.
+type Options struct {
+	Seed    uint64
+	Workers int // parallel executor width (0/1 = sequential)
+	B       int // CONGEST budget override (0 = 4·ceil(log2 n))
+
+	Phase1   phase1.Params
+	DegRed   degreduce.Params
+	Shatter  shatter.Params
+	Phase3   phase3.Params // Mode is forced per algorithm
+	AvgEn    avgenergy.Params
+	MaxRetry int // outer retries for undecided Phase III leftovers
+}
+
+// DefaultOptions returns the paper-faithful defaults.
+func DefaultOptions() Options {
+	return Options{
+		Phase1:   phase1.DefaultParams(),
+		DegRed:   degreduce.DefaultParams(),
+		Shatter:  shatter.DefaultParams(),
+		Phase3:   phase3.DefaultParams(phase3.ModeAlg1),
+		AvgEn:    avgenergy.DefaultParams(),
+		MaxRetry: 3,
+	}
+}
+
+// PhaseDiag carries structural diagnostics of a composed run.
+type PhaseDiag struct {
+	InputMaxDegree     int
+	Phase1Iterations   int // Alg1: regularized-Luby iterations; Alg2: reduction iterations
+	ResidualMaxDegree  int // after Phase I
+	ResidualNodes      int
+	SurvivorNodes      int // after Phase II
+	SurvivorComponents int
+	MaxComponent       int
+	TreeDepth          int // deepest Phase III spanning-tree node
+	FinisherAttempts   int
+	Phase3Retries      int
+	FailedNodes        int // Section 4 stage-A failed set |F|
+}
+
+// Result of a composed run.
+type Result struct {
+	Algorithm Algorithm
+	InSet     []bool
+	Summary   stats.Summary
+	// AwakePerNode is each node's total awake rounds across all phases.
+	AwakePerNode []int64
+	Diag         PhaseDiag
+}
+
+// Run executes the selected algorithm on g.
+func Run(g *graph.Graph, algo Algorithm, opts Options) (*Result, error) {
+	switch algo {
+	case Luby:
+		return runLuby(g, opts)
+	case RegularizedLuby:
+		return runRegularizedLuby(g, opts)
+	case Algorithm1, Algorithm2, Algorithm1Avg, Algorithm2Avg:
+		return runComposed(g, algo, opts)
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %d", algo)
+	}
+}
+
+func runRegularizedLuby(g *graph.Graph, opts Options) (*Result, error) {
+	inSet, res, err := luby.RunRegularized(g, luby.DefaultRegularizedParams(), opts.simCfg(1))
+	if err != nil {
+		return nil, err
+	}
+	acc := stats.NewAccumulator(g.N())
+	acc.AddPhase("reg-luby", res, nil)
+	return &Result{
+		Algorithm:    RegularizedLuby,
+		InSet:        inSet,
+		Summary:      acc.Summarize(),
+		AwakePerNode: acc.AwakePerNode(),
+		Diag:         PhaseDiag{InputMaxDegree: g.MaxDegree()},
+	}, nil
+}
+
+func (o Options) simCfg(phase uint64) sim.Config {
+	return sim.Config{
+		Seed:    o.Seed ^ (phase * 0x9e3779b97f4a7c15),
+		Workers: o.Workers,
+		B:       o.B,
+	}
+}
+
+func runLuby(g *graph.Graph, opts Options) (*Result, error) {
+	inSet, res, err := luby.Run(g, opts.simCfg(1))
+	if err != nil {
+		return nil, err
+	}
+	acc := stats.NewAccumulator(g.N())
+	acc.AddPhase("luby", res, nil)
+	return &Result{
+		Algorithm:    Luby,
+		InSet:        inSet,
+		Summary:      acc.Summarize(),
+		AwakePerNode: acc.AwakePerNode(),
+		Diag:         PhaseDiag{InputMaxDegree: g.MaxDegree()},
+	}, nil
+}
+
+func runComposed(g *graph.Graph, algo Algorithm, opts Options) (*Result, error) {
+	n := g.N()
+	acc := stats.NewAccumulator(n)
+	inSet := make([]bool, n)
+	diag := PhaseDiag{InputMaxDegree: g.MaxDegree()}
+
+	// --- Phase I: degree reduction ---
+	var residual []int
+	if algo == Algorithm1 || algo == Algorithm1Avg {
+		out, err := phase1.Run(g, opts.Phase1, opts.simCfg(1))
+		if err != nil {
+			return nil, err
+		}
+		acc.AddPhase("phase-i", out.Res, nil)
+		for v, in := range out.InSet {
+			inSet[v] = inSet[v] || in
+		}
+		residual = out.Residual
+		diag.Phase1Iterations = out.Plan.Iterations
+	} else {
+		out, err := degreduce.Run(g, opts.DegRed, opts.simCfg(1))
+		if err != nil {
+			return nil, err
+		}
+		for i, it := range out.Iters {
+			acc.AddPhase(fmt.Sprintf("phase-i.%d", i), it.Res, it.Orig)
+		}
+		for v, in := range out.InSet {
+			inSet[v] = inSet[v] || in
+		}
+		residual = out.Residual
+		diag.Phase1Iterations = len(out.Iters)
+	}
+	diag.ResidualNodes = len(residual)
+
+	// Phase boundary: surviving nodes wake once to learn their status.
+	acc.AddFlat("sync-i/ii", 1, toInt32(residual))
+
+	// --- Phase I-II (Section 4, average-energy variants only) ---
+	if algo == Algorithm1Avg || algo == Algorithm2Avg {
+		subA := graph.InducedSubgraph(g, residual)
+		ae, err := avgenergy.Run(subA.Graph, opts.AvgEn, opts.simCfg(7))
+		if err != nil {
+			return nil, err
+		}
+		if ae.StageARes != nil {
+			acc.AddPhase("phase-i/ii.a", ae.StageARes, subA.Orig)
+		}
+		if ae.StageBRes != nil {
+			// Stage B ran on a nested subgraph; compose the ID mapping.
+			borig := make([]int32, len(ae.StageBOrig))
+			for i, v := range ae.StageBOrig {
+				borig[i] = subA.Orig[v]
+			}
+			acc.AddPhase("phase-i/ii.b", ae.StageBRes, borig)
+		}
+		for v, in := range ae.InSet {
+			if in {
+				inSet[subA.Orig[v]] = true
+			}
+		}
+		next := make([]int, len(ae.Remaining))
+		for i, v := range ae.Remaining {
+			next[i] = int(subA.Orig[v])
+		}
+		residual = next
+		diag.FailedNodes = ae.Failed
+		acc.AddFlat("sync-i/ii-2", 1, toInt32(residual))
+	}
+
+	// --- Phase II: shattering ---
+	sub := graph.InducedSubgraph(g, residual)
+	diag.ResidualMaxDegree = sub.MaxDegree()
+	sh, err := shatter.Run(sub.Graph, opts.Shatter, opts.simCfg(2))
+	if err != nil {
+		return nil, err
+	}
+	acc.AddPhase("phase-ii", sh.Res, sub.Orig)
+	for v, in := range sh.InSet {
+		if in {
+			inSet[sub.Orig[v]] = true
+		}
+	}
+	diag.SurvivorNodes = len(sh.Survivors)
+	diag.SurvivorComponents = len(sh.Components)
+	diag.MaxComponent = sh.MaxComponent
+
+	// --- Phase III: merge + finisher on the shattered survivors ---
+	p3params := opts.Phase3
+	if algo == Algorithm2 || algo == Algorithm2Avg {
+		p3params.Mode = phase3.ModeAlg2
+	} else {
+		p3params.Mode = phase3.ModeAlg1
+	}
+	pending := make([]int, 0, len(sh.Survivors))
+	for _, v := range sh.Survivors {
+		pending = append(pending, int(sub.Orig[v]))
+	}
+	for attempt := 0; len(pending) > 0; attempt++ {
+		if attempt > opts.MaxRetry {
+			return nil, fmt.Errorf("core: %d nodes undecided after %d Phase III retries", len(pending), opts.MaxRetry)
+		}
+		sub3 := graph.InducedSubgraph(g, pending)
+		p3, err := phase3.Run(sub3.Graph, p3params, opts.simCfg(3+uint64(attempt)))
+		if err != nil {
+			return nil, err
+		}
+		name := "phase-iii"
+		if attempt > 0 {
+			name = fmt.Sprintf("phase-iii.retry%d", attempt)
+			diag.Phase3Retries++
+		}
+		acc.AddPhase(name, p3.Res, sub3.Orig)
+		for v, in := range p3.InSet {
+			if in {
+				inSet[sub3.Orig[v]] = true
+			}
+		}
+		if p3.MaxDepth > diag.TreeDepth {
+			diag.TreeDepth = p3.MaxDepth
+		}
+		if p3.MaxAttempts > diag.FinisherAttempts {
+			diag.FinisherAttempts = p3.MaxAttempts
+		}
+		next := make([]int, 0, len(p3.Undecided))
+		for _, v := range p3.Undecided {
+			next = append(next, int(sub3.Orig[v]))
+		}
+		pending = next
+	}
+
+	return &Result{
+		Algorithm:    algo,
+		InSet:        inSet,
+		Summary:      acc.Summarize(),
+		AwakePerNode: acc.AwakePerNode(),
+		Diag:         diag,
+	}, nil
+}
+
+// RunVerified runs the algorithm and checks the output is a maximal
+// independent set, returning an error otherwise.
+func RunVerified(g *graph.Graph, algo Algorithm, opts Options) (*Result, error) {
+	res, err := Run(g, algo, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := verify.Check(g, res.InSet); err != nil {
+		return nil, fmt.Errorf("core: %s produced invalid output: %w", algo, err)
+	}
+	return res, nil
+}
+
+func toInt32(xs []int) []int32 {
+	out := make([]int32, len(xs))
+	for i, x := range xs {
+		out[i] = int32(x)
+	}
+	return out
+}

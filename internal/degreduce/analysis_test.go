@@ -1,0 +1,169 @@
+package degreduce
+
+import (
+	"math"
+	"testing"
+
+	"github.com/energymis/energymis/internal/graph"
+	"github.com/energymis/energymis/internal/sim"
+)
+
+// TestLemma34EstimateAccuracy reproduces Lemma 3.4: for a node sampled in
+// the first round (where its remaining degree is its full degree), the
+// estimate deg~ = Δ^0.5 · A_v lies in [deg/2, 2·deg] when deg >= Δ^0.6.
+// The Ω(log^20 n) precondition is far beyond feasible n, so tolerance is
+// widened to [deg/3, 3·deg]; the concentration is still clearly visible.
+func TestLemma34EstimateAccuracy(t *testing.T) {
+	g := graph.GNP(3000, 0.4, 11) // Δ ≈ 1250, Δ^0.6 ≈ 72
+	p := DefaultParams()
+	plan := MakePlan(g.N(), g.MaxDegree(), p)
+	machines := make([]sim.Machine, g.N())
+	nodes := make([]*Machine, g.N())
+	for v := range machines {
+		nodes[v] = &Machine{plan: plan, damp: p.ResampleDamp, pmd: p.PreMarkDamp, pexp: p.PreMarkExp, rv: -1}
+		machines[v] = nodes[v]
+	}
+	if _, err := sim.Run(g, machines, sim.Config{Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	sqrtD := math.Sqrt(float64(plan.Delta))
+	thresh := math.Pow(float64(plan.Delta), 0.6)
+	checked, bad := 0, 0
+	for v, nm := range nodes {
+		// First-round pre-marked nodes: remaining degree = full degree.
+		if nm.rv != 0 || !nm.premarked {
+			continue
+		}
+		deg := float64(g.Degree(v))
+		if deg < thresh {
+			continue
+		}
+		est := sqrtD * float64(nm.av)
+		checked++
+		if est < deg/3 || est > 3*deg {
+			bad++
+			t.Logf("node %d: deg=%v est=%v (A_v=%d)", v, deg, est, nm.av)
+		}
+	}
+	if checked == 0 {
+		t.Skip("no first-round high-degree pre-marked nodes; seed-dependent")
+	}
+	if bad > checked/10 {
+		t.Fatalf("%d/%d estimates outside [deg/3, 3deg]", bad, checked)
+	}
+	t.Logf("estimate accuracy: %d/%d within tolerance", checked-bad, checked)
+}
+
+// TestLemma36GoodEdges reproduces Lemma 3.6: among edges whose endpoints
+// both have degree >= Δ^0.6, at least half are good (both endpoints good,
+// where good = degree >= Δ^0.6 and more than a third of neighbors have
+// strictly lower degree... ties counted favorably as in the paper's
+// arbitrary tie-breaking).
+func TestLemma36GoodEdges(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"gnp", graph.GNP(1500, 0.3, 3)},
+		{"ba", graph.BarabasiAlbert(2000, 40, 5)},
+		{"nearreg", graph.NearRegular(1500, 200, 7)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			g := tc.g
+			delta := float64(g.MaxDegree())
+			thresh := math.Pow(delta, 0.6)
+			// Orient ties by ID, mirroring "breaking ties arbitrarily".
+			lower := func(u, v int) bool {
+				du, dv := g.Degree(u), g.Degree(v)
+				return du < dv || (du == dv && u < v)
+			}
+			good := make([]bool, g.N())
+			for v := 0; v < g.N(); v++ {
+				if float64(g.Degree(v)) < thresh {
+					continue
+				}
+				cnt := 0
+				for _, u := range g.Neighbors(v) {
+					if lower(int(u), v) {
+						cnt++
+					}
+				}
+				good[v] = 3*cnt > g.Degree(v)
+			}
+			total, goodEdges := 0, 0
+			for v := 0; v < g.N(); v++ {
+				if float64(g.Degree(v)) < thresh {
+					continue
+				}
+				for _, u := range g.Neighbors(v) {
+					if int(u) < v || float64(g.Degree(int(u))) < thresh {
+						continue
+					}
+					total++
+					if good[v] && good[u] {
+						goodEdges++
+					}
+				}
+			}
+			if total == 0 {
+				t.Skip("no high-high edges")
+			}
+			// Reproduction note (recorded in EXPERIMENTS.md): the paper
+			// claims at least half; measured fractions sit at 0.43–0.45
+			// on these families — still the constant fraction the
+			// progress argument (Lemma 3.8) needs, but below the stated
+			// 1/2. We assert the constant-fraction property.
+			if 3*goodEdges < total {
+				t.Fatalf("good edges %d/%d below a third", goodEdges, total)
+			}
+			t.Logf("good high-high edges: %d/%d (%.3f; paper claims >= 0.5)",
+				goodEdges, total, float64(goodEdges)/float64(total))
+		})
+	}
+}
+
+// TestLemma310SpoiledBound reproduces Lemma 3.10: per iteration, each
+// node has at most ~4Δ^0.6 sampled (tagged or pre-marked) neighbors.
+func TestLemma310SpoiledBound(t *testing.T) {
+	g := graph.GNP(2500, 0.35, 13)
+	p := DefaultParams()
+	plan := MakePlan(g.N(), g.MaxDegree(), p)
+	machines := make([]sim.Machine, g.N())
+	nodes := make([]*Machine, g.N())
+	for v := range machines {
+		nodes[v] = &Machine{plan: plan, damp: p.ResampleDamp, pmd: p.PreMarkDamp, pexp: p.PreMarkExp, rv: -1}
+		machines[v] = nodes[v]
+	}
+	if _, err := sim.Run(g, machines, sim.Config{Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	// The paper's 4Δ^0.6 bound needs Δ >= log^10 n so that the per-node
+	// sampling probability O(log n·Δ^-0.5) is at most Δ^-0.4 — far beyond
+	// feasible scale. At practical parameters the right check is Chernoff
+	// concentration around the analytic expectation
+	// deg·min(1, T·(Δ^-0.5 + 1/(2Δ^0.6))).
+	perRound := math.Pow(float64(plan.Delta), -0.5) + 1/(2*math.Pow(float64(plan.Delta), 0.6))
+	pSample := math.Min(1, float64(plan.T)*perRound)
+	paperBound := 4 * math.Pow(float64(plan.Delta), 0.6)
+	worstRatio := 0.0
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) < 50 {
+			continue
+		}
+		cnt := 0
+		for _, u := range g.Neighbors(v) {
+			if nodes[u].Sampled() {
+				cnt++
+			}
+		}
+		mean := float64(g.Degree(v)) * pSample
+		if r := float64(cnt) / mean; r > worstRatio {
+			worstRatio = r
+		}
+	}
+	if worstRatio > 1.6 {
+		t.Fatalf("sampled-neighbor count deviates %.2fx from expectation", worstRatio)
+	}
+	t.Logf("worst sampled/expected ratio %.2f (paper's asymptotic bound 4Δ^0.6 = %.0f applies only for Δ >= log^10 n)",
+		worstRatio, paperBound)
+}

@@ -1,0 +1,184 @@
+package degreduce
+
+import (
+	"testing"
+
+	"github.com/energymis/energymis/internal/graph"
+	"github.com/energymis/energymis/internal/schedule"
+	"github.com/energymis/energymis/internal/sim"
+	"github.com/energymis/energymis/internal/verify"
+)
+
+func TestMakePlan(t *testing.T) {
+	p := DefaultParams()
+	plan := MakePlan(1024, 10000, p)
+	if plan.T != 20 {
+		t.Fatalf("T = %d, want 20", plan.T)
+	}
+	if plan.TagProb <= 0 || plan.TagProb > 0.011 {
+		t.Fatalf("TagProb = %v", plan.TagProb)
+	}
+	if plan.PreMarkProb >= plan.TagProb {
+		t.Fatalf("PreMarkProb %v should be below TagProb %v at this Δ", plan.PreMarkProb, plan.TagProb)
+	}
+	if plan.HighThresh <= 0 {
+		t.Fatal("HighThresh not positive")
+	}
+}
+
+func TestStopDelta(t *testing.T) {
+	p := DefaultParams()
+	if got := p.StopDelta(2); got != p.StopMin {
+		t.Fatalf("StopDelta(2) = %d", got)
+	}
+	if got := p.StopDelta(1 << 20); got != 400 { // (log2 n)^2 = 400
+		t.Fatalf("StopDelta(2^20) = %d, want 400", got)
+	}
+}
+
+func runReduce(t *testing.T, g *graph.Graph, p Params, seed uint64) *Outcome {
+	t.Helper()
+	out, err := Run(g, p, sim.Config{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestIndependence(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.GNP(1200, 0.3, 1),
+		graph.Complete(500),
+		graph.BarabasiAlbert(1500, 40, 2),
+		graph.CompleteBipartite(250, 250),
+	}
+	for gi, g := range graphs {
+		for seed := uint64(0); seed < 4; seed++ {
+			out := runReduce(t, g, DefaultParams(), seed)
+			if ok, u, v := verify.IsIndependent(g, out.InSet); !ok {
+				t.Fatalf("graph %d seed %d: dependent edge (%d,%d)", gi, seed, u, v)
+			}
+		}
+	}
+}
+
+func TestDegreeReduction(t *testing.T) {
+	g := graph.GNP(2000, 0.3, 3)
+	p := DefaultParams()
+	out := runReduce(t, g, p, 5)
+	if len(out.Iters) == 0 {
+		t.Fatal("no iterations ran on a dense graph")
+	}
+	stop := p.StopDelta(g.N())
+	sub := graph.InducedSubgraph(g, out.Residual)
+	if got := sub.MaxDegree(); got > 4*stop {
+		t.Fatalf("residual max degree %d > 4*stop=%d (input Δ=%d, iters=%d, boundExceeded=%d)",
+			got, 4*stop, g.MaxDegree(), len(out.Iters), out.BoundExceeded)
+	}
+	// Progress within each iteration: measured degree after iteration i
+	// must be below the incoming bound.
+	for i, st := range out.Iters {
+		if st.MeasuredD >= st.Delta && st.Delta > 1 {
+			t.Fatalf("iteration %d did not reduce: Δ=%d measured=%d", i, st.Delta, st.MeasuredD)
+		}
+	}
+}
+
+func TestMultipleIterations(t *testing.T) {
+	p := DefaultParams()
+	p.StopLogExp = 0
+	p.StopMin = 8
+	g := graph.GNP(1500, 0.4, 7)
+	out := runReduce(t, g, p, 9)
+	if len(out.Iters) < 3 {
+		t.Fatalf("expected >=3 iterations, got %d", len(out.Iters))
+	}
+	// Bounds must be strictly decreasing.
+	for i := 1; i < len(out.Iters); i++ {
+		if out.Iters[i].Delta >= out.Iters[i-1].Delta {
+			t.Fatalf("Δ did not decrease: %d -> %d", out.Iters[i-1].Delta, out.Iters[i].Delta)
+		}
+	}
+	if ok, u, v := verify.IsIndependent(g, out.InSet); !ok {
+		t.Fatalf("dependent edge (%d,%d)", u, v)
+	}
+}
+
+func TestEnergyPerIteration(t *testing.T) {
+	g := graph.GNP(2000, 0.3, 11)
+	p := DefaultParams()
+	out := runReduce(t, g, p, 13)
+	for i, st := range out.Iters {
+		// Sampled nodes: |S| schedule rounds + 3 cohort rounds + 4 end
+		// rounds. Unsampled: 4 end rounds.
+		bound := schedule.MaxSize(MakePlan(g.N(), st.Delta, p).T) + 3 + 4
+		if got := st.Res.MaxAwake(); got > bound {
+			t.Fatalf("iteration %d: MaxAwake %d > %d", i, got, bound)
+		}
+	}
+}
+
+func TestUnsampledNodesOnlyPayEndWindow(t *testing.T) {
+	g := graph.GNP(1500, 0.3, 15)
+	plan := MakePlan(g.N(), g.MaxDegree(), DefaultParams())
+	p := DefaultParams()
+	machines := make([]sim.Machine, g.N())
+	nodes := make([]*Machine, g.N())
+	for v := range machines {
+		nodes[v] = &Machine{plan: plan, damp: p.ResampleDamp, pmd: p.PreMarkDamp, pexp: p.PreMarkExp, rv: -1}
+		machines[v] = nodes[v]
+	}
+	res, err := sim.Run(g, machines, sim.Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, nm := range nodes {
+		if !nm.Sampled() && res.Awake[v] > 4 {
+			t.Fatalf("unsampled node %d awake %d rounds", v, res.Awake[v])
+		}
+	}
+}
+
+func TestCongestCompliance(t *testing.T) {
+	g := graph.GNP(1200, 0.4, 17)
+	out := runReduce(t, g, DefaultParams(), 19)
+	for i, st := range out.Iters {
+		if st.Res.Violations != 0 {
+			t.Fatalf("iteration %d: %d violations (bitsMax=%d)", i, st.Res.Violations, st.Res.BitsMax)
+		}
+	}
+}
+
+func TestSparseGraphSkipsPhase(t *testing.T) {
+	g := graph.GNP(1000, 0.01, 1)
+	out := runReduce(t, g, DefaultParams(), 1)
+	if len(out.Iters) != 0 {
+		t.Fatalf("iterations = %d on low-degree graph", len(out.Iters))
+	}
+	if len(out.Residual) != g.N() {
+		t.Fatal("sparse graph lost nodes")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	g := graph.GNP(900, 0.3, 23)
+	a := runReduce(t, g, DefaultParams(), 42)
+	b := runReduce(t, g, DefaultParams(), 42)
+	for v := range a.InSet {
+		if a.InSet[v] != b.InSet[v] {
+			t.Fatalf("node %d differs", v)
+		}
+	}
+}
+
+func TestCliqueReduces(t *testing.T) {
+	g := graph.Complete(600)
+	out := runReduce(t, g, DefaultParams(), 25)
+	if ok, _, _ := verify.IsIndependent(g, out.InSet); !ok {
+		t.Fatal("clique set dependent")
+	}
+	sub := graph.InducedSubgraph(g, out.Residual)
+	if sub.MaxDegree() >= g.MaxDegree() {
+		t.Fatalf("clique did not reduce: %d -> %d", g.MaxDegree(), sub.MaxDegree())
+	}
+}

@@ -1,0 +1,340 @@
+package graph
+
+import (
+	"math"
+	"sort"
+
+	"github.com/energymis/energymis/internal/rng"
+)
+
+// Gen bundles the named generators so callers (CLI, benchmarks) can select
+// a family by string.
+type Gen struct {
+	Name string
+	// Make builds an instance with ~n nodes using the given seed.
+	Make func(n int, seed uint64) *Graph
+}
+
+// Families returns the standard generator catalog used by experiments.
+// avgDeg parameterizes the families that have a density knob.
+func Families(avgDeg float64) []Gen {
+	return []Gen{
+		{"gnp", func(n int, seed uint64) *Graph { return GNP(n, avgDeg/float64(max(n-1, 1)), seed) }},
+		{"rgg", func(n int, seed uint64) *Graph { return RGG(n, avgDeg, seed) }},
+		{"ba", func(n int, seed uint64) *Graph { return BarabasiAlbert(n, int(avgDeg/2)+1, seed) }},
+		{"grid", func(n int, _ uint64) *Graph { return Grid2D(intSqrt(n), intSqrt(n)) }},
+		{"rtree", func(n int, seed uint64) *Graph { return RandomTree(n, seed) }},
+		{"reg", func(n int, seed uint64) *Graph { return NearRegular(n, int(avgDeg), seed) }},
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func intSqrt(n int) int {
+	r := int(math.Sqrt(float64(n)))
+	if r < 1 {
+		r = 1
+	}
+	return r
+}
+
+// GNP samples an Erdős–Rényi G(n, p) graph. It uses geometric edge
+// skipping, so it runs in O(n + m) expected time.
+func GNP(n int, p float64, seed uint64) *Graph {
+	b := NewBuilder(n)
+	if p > 0 && n > 1 {
+		if p >= 1 {
+			for u := 0; u < n; u++ {
+				for v := u + 1; v < n; v++ {
+					b.AddEdge(u, v)
+				}
+			}
+			return b.Build()
+		}
+		// Batagelj–Brandes geometric skipping over pairs (v, w), w < v.
+		r := rng.New(seed)
+		logQ := math.Log(1 - p)
+		v, w := 1, -1
+		for v < n {
+			w += 1 + int(math.Log(1-r.Float64())/logQ)
+			for w >= v && v < n {
+				w -= v
+				v++
+			}
+			if v < n {
+				b.AddEdge(v, w)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// RGG samples a random geometric graph: n points uniform in the unit
+// square, connected when within radius r chosen so that the expected
+// average degree is avgDeg. This models the sensor/wireless networks that
+// motivate the energy measure.
+func RGG(n int, avgDeg float64, seed uint64) *Graph {
+	r := rng.New(seed)
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = r.Float64()
+		ys[i] = r.Float64()
+	}
+	// E[deg] = (n-1) * pi * rad^2  =>  rad = sqrt(avgDeg / ((n-1) pi)).
+	rad := 0.0
+	if n > 1 {
+		rad = math.Sqrt(avgDeg / (float64(n-1) * math.Pi))
+	}
+	// Grid-bucket the points for near-linear neighbor search.
+	cell := rad
+	if cell <= 0 {
+		cell = 1
+	}
+	cols := int(1/cell) + 1
+	buckets := make(map[[2]int][]int32)
+	key := func(i int) [2]int {
+		return [2]int{int(xs[i] / cell), int(ys[i] / cell)}
+	}
+	for i := 0; i < n; i++ {
+		k := key(i)
+		buckets[k] = append(buckets[k], int32(i))
+	}
+	b := NewBuilder(n)
+	rad2 := rad * rad
+	for i := 0; i < n; i++ {
+		k := key(i)
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				kk := [2]int{k[0] + dx, k[1] + dy}
+				if kk[0] < 0 || kk[1] < 0 || kk[0] > cols || kk[1] > cols {
+					continue
+				}
+				for _, j := range buckets[kk] {
+					if int(j) <= i {
+						continue
+					}
+					ddx := xs[i] - xs[j]
+					ddy := ys[i] - ys[j]
+					if ddx*ddx+ddy*ddy <= rad2 {
+						b.AddEdge(i, int(j))
+					}
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+// BarabasiAlbert grows a preferential-attachment graph: each new node
+// attaches to m existing nodes chosen proportionally to degree. Produces
+// heavy-tailed degree distributions (the "social graph" family).
+func BarabasiAlbert(n, m int, seed uint64) *Graph {
+	if m < 1 {
+		m = 1
+	}
+	r := rng.New(seed)
+	b := NewBuilder(n)
+	if n == 0 {
+		return b.Build()
+	}
+	// Repeated-endpoint list: picking a uniform element is degree-biased.
+	targets := make([]int32, 0, 2*m*n)
+	core := m + 1
+	if core > n {
+		core = n
+	}
+	for u := 0; u < core; u++ {
+		for v := u + 1; v < core; v++ {
+			b.AddEdge(u, v)
+			targets = append(targets, int32(u), int32(v))
+		}
+	}
+	for v := core; v < n; v++ {
+		chosen := make(map[int32]bool, m)
+		for len(chosen) < m {
+			var t int32
+			if len(targets) == 0 {
+				t = int32(r.Intn(v))
+			} else {
+				t = targets[r.Intn(len(targets))]
+			}
+			chosen[t] = true
+		}
+		for t := range chosen {
+			b.AddEdge(v, int(t))
+			targets = append(targets, int32(v), t)
+		}
+	}
+	return b.Build()
+}
+
+// Grid2D builds a rows×cols grid graph.
+func Grid2D(rows, cols int) *Graph {
+	b := NewBuilder(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				b.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Torus2D builds a rows×cols torus (grid with wraparound).
+func Torus2D(rows, cols int) *Graph {
+	b := NewBuilder(rows * cols)
+	id := func(r, c int) int { return (r%rows)*cols + (c % cols) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if cols > 1 {
+				b.AddEdge(id(r, c), id(r, c+1))
+			}
+			if rows > 1 {
+				b.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Cycle builds the n-cycle (or a single edge / empty graph for n < 3).
+func Cycle(n int) *Graph {
+	b := NewBuilder(n)
+	if n >= 2 {
+		for v := 0; v < n-1; v++ {
+			b.AddEdge(v, v+1)
+		}
+		if n >= 3 {
+			b.AddEdge(n-1, 0)
+		}
+	}
+	return b.Build()
+}
+
+// Path builds the n-node path.
+func Path(n int) *Graph {
+	b := NewBuilder(n)
+	for v := 0; v+1 < n; v++ {
+		b.AddEdge(v, v+1)
+	}
+	return b.Build()
+}
+
+// Star builds a star with one center (node 0) and n-1 leaves.
+func Star(n int) *Graph {
+	b := NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(0, v)
+	}
+	return b.Build()
+}
+
+// Complete builds the clique K_n.
+func Complete(n int) *Graph {
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			b.AddEdge(u, v)
+		}
+	}
+	return b.Build()
+}
+
+// CompleteBipartite builds K_{a,b}: nodes [0,a) on one side, [a,a+b) on
+// the other.
+func CompleteBipartite(a, b int) *Graph {
+	bl := NewBuilder(a + b)
+	for u := 0; u < a; u++ {
+		for v := 0; v < b; v++ {
+			bl.AddEdge(u, a+v)
+		}
+	}
+	return bl.Build()
+}
+
+// RandomTree samples a uniform labeled tree via a random Prüfer-like
+// attachment: node v > 0 attaches to a uniform node in [0, v).
+func RandomTree(n int, seed uint64) *Graph {
+	r := rng.New(seed)
+	b := NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(v, r.Intn(v))
+	}
+	return b.Build()
+}
+
+// NearRegular builds a random graph where every node has degree close to
+// d, by sampling d/2 random perfect-matching-style permutation rounds.
+// Duplicate and self edges are dropped, so degrees may be slightly below d.
+func NearRegular(n, d int, seed uint64) *Graph {
+	r := rng.New(seed)
+	b := NewBuilder(n)
+	if n < 2 || d < 1 {
+		return b.Build()
+	}
+	rounds := (d + 1) / 2
+	for k := 0; k < rounds; k++ {
+		perm := r.Perm(n)
+		for i := 0; i < n; i++ {
+			b.AddEdge(i, perm[i])
+		}
+	}
+	return b.Build()
+}
+
+// Caterpillar builds a path of length spineLen where each spine node has
+// legs pendant leaves — a family with many low-degree nodes and moderate
+// diameter, useful for schedule tests.
+func Caterpillar(spineLen, legs int) *Graph {
+	n := spineLen * (1 + legs)
+	b := NewBuilder(n)
+	for s := 0; s < spineLen; s++ {
+		if s+1 < spineLen {
+			b.AddEdge(s, s+1)
+		}
+		for l := 0; l < legs; l++ {
+			b.AddEdge(s, spineLen+s*legs+l)
+		}
+	}
+	return b.Build()
+}
+
+// CliqueChain builds k cliques of size s connected in a chain by single
+// bridge edges — an adversarial family for shattering (dense local
+// structure, global sparseness).
+func CliqueChain(k, s int) *Graph {
+	b := NewBuilder(k * s)
+	for c := 0; c < k; c++ {
+		base := c * s
+		for u := 0; u < s; u++ {
+			for v := u + 1; v < s; v++ {
+				b.AddEdge(base+u, base+v)
+			}
+		}
+		if c+1 < k {
+			b.AddEdge(base, base+s) // bridge to next clique's first node
+		}
+	}
+	return b.Build()
+}
+
+// Degrees returns the sorted degree sequence (descending).
+func Degrees(g *Graph) []int {
+	ds := make([]int, g.N())
+	for v := range ds {
+		ds[v] = g.Degree(v)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(ds)))
+	return ds
+}

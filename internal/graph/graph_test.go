@@ -1,0 +1,351 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuilderBasics(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0) // duplicate (reversed)
+	b.AddEdge(0, 1) // duplicate
+	b.AddEdge(2, 2) // self loop, dropped
+	b.AddEdge(3, 1)
+	g := b.Build()
+	if g.N() != 4 {
+		t.Fatalf("N = %d, want 4", g.N())
+	}
+	if g.M() != 2 {
+		t.Fatalf("M = %d, want 2", g.M())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) || !g.HasEdge(1, 3) {
+		t.Fatal("expected edges missing")
+	}
+	if g.HasEdge(0, 2) || g.HasEdge(2, 2) {
+		t.Fatal("unexpected edges present")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuilderPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddEdge out of range did not panic")
+		}
+	}()
+	NewBuilder(2).AddEdge(0, 2)
+}
+
+func TestDegrees(t *testing.T) {
+	g := Star(5)
+	if g.Degree(0) != 4 {
+		t.Fatalf("star center degree = %d", g.Degree(0))
+	}
+	for v := 1; v < 5; v++ {
+		if g.Degree(v) != 1 {
+			t.Fatalf("leaf %d degree = %d", v, g.Degree(v))
+		}
+	}
+	if g.MaxDegree() != 4 {
+		t.Fatalf("MaxDegree = %d", g.MaxDegree())
+	}
+	if got := g.AvgDegree(); math.Abs(got-8.0/5) > 1e-9 {
+		t.Fatalf("AvgDegree = %v", got)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := NewBuilder(0).Build()
+	if g.N() != 0 || g.M() != 0 || g.MaxDegree() != 0 || g.AvgDegree() != 0 {
+		t.Fatal("empty graph stats wrong")
+	}
+	if len(Components(g)) != 0 {
+		t.Fatal("empty graph has components")
+	}
+	if DiameterLowerBound(g) != 0 {
+		t.Fatal("empty graph diameter != 0")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	// Two triangles and an isolated node.
+	g := FromEdges(7, [][2]int{{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}})
+	comps := Components(g)
+	if len(comps) != 3 {
+		t.Fatalf("components = %d, want 3", len(comps))
+	}
+	if len(comps[0]) != 3 || comps[0][0] != 0 {
+		t.Fatalf("first component wrong: %v", comps[0])
+	}
+	if len(comps[2]) != 1 || comps[2][0] != 6 {
+		t.Fatalf("isolated node component wrong: %v", comps[2])
+	}
+}
+
+func TestBFSAndDiameter(t *testing.T) {
+	g := Path(10)
+	d := BFS(g, 0)
+	for v := 0; v < 10; v++ {
+		if int(d[v]) != v {
+			t.Fatalf("BFS dist to %d = %d", v, d[v])
+		}
+	}
+	if got := DiameterLowerBound(g); got != 9 {
+		t.Fatalf("path diameter = %d, want 9", got)
+	}
+	if got := Eccentricity(g, 5); got != 5 {
+		t.Fatalf("ecc(5) = %d, want 5", got)
+	}
+	// Disconnected: unreachable nodes report -1.
+	g2 := FromEdges(3, [][2]int{{0, 1}})
+	if BFS(g2, 0)[2] != -1 {
+		t.Fatal("unreachable distance not -1")
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := Cycle(6)
+	sub := InducedSubgraph(g, []int{0, 1, 2, 4})
+	if sub.N() != 4 {
+		t.Fatalf("sub N = %d", sub.N())
+	}
+	// Edges kept: (0,1), (1,2). Node 4 is isolated in the subgraph.
+	if sub.M() != 2 {
+		t.Fatalf("sub M = %d, want 2", sub.M())
+	}
+	if !sub.HasEdge(0, 1) || !sub.HasEdge(1, 2) || sub.Degree(3) != 0 {
+		t.Fatal("subgraph structure wrong")
+	}
+	for i, want := range []int32{0, 1, 2, 4} {
+		if sub.Orig[i] != want {
+			t.Fatalf("Orig[%d] = %d, want %d", i, sub.Orig[i], want)
+		}
+	}
+}
+
+func TestInducedSubgraphDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate keep node did not panic")
+		}
+	}()
+	InducedSubgraph(Path(3), []int{0, 0})
+}
+
+func TestGeneratorsValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+	}{
+		{"gnp", GNP(500, 0.02, 1)},
+		{"gnp-empty", GNP(100, 0, 1)},
+		{"gnp-full", GNP(20, 1, 1)},
+		{"rgg", RGG(500, 8, 2)},
+		{"ba", BarabasiAlbert(300, 3, 3)},
+		{"grid", Grid2D(11, 13)},
+		{"torus", Torus2D(8, 9)},
+		{"cycle", Cycle(50)},
+		{"path", Path(50)},
+		{"star", Star(50)},
+		{"complete", Complete(20)},
+		{"bipartite", CompleteBipartite(5, 7)},
+		{"rtree", RandomTree(200, 4)},
+		{"nearreg", NearRegular(200, 6, 5)},
+		{"caterpillar", Caterpillar(10, 3)},
+		{"cliquechain", CliqueChain(5, 6)},
+	}
+	for _, c := range cases {
+		if err := c.g.Validate(); err != nil {
+			t.Errorf("%s: %v", c.name, err)
+		}
+	}
+}
+
+func TestGNPDensity(t *testing.T) {
+	n, p := 2000, 0.01
+	g := GNP(n, p, 7)
+	want := p * float64(n) * float64(n-1) / 2
+	got := float64(g.M())
+	if math.Abs(got-want) > 6*math.Sqrt(want) {
+		t.Fatalf("GNP edges = %v, want ~%v", got, want)
+	}
+}
+
+func TestGNPDeterministic(t *testing.T) {
+	a := GNP(300, 0.05, 99)
+	b := GNP(300, 0.05, 99)
+	if a.M() != b.M() {
+		t.Fatal("GNP not deterministic")
+	}
+	for v := 0; v < a.N(); v++ {
+		na, nb := a.Neighbors(v), b.Neighbors(v)
+		if len(na) != len(nb) {
+			t.Fatal("GNP adjacency differs")
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				t.Fatal("GNP adjacency differs")
+			}
+		}
+	}
+}
+
+func TestCompleteStructure(t *testing.T) {
+	g := Complete(10)
+	if g.M() != 45 {
+		t.Fatalf("K10 edges = %d", g.M())
+	}
+	for v := 0; v < 10; v++ {
+		if g.Degree(v) != 9 {
+			t.Fatalf("K10 degree(%d) = %d", v, g.Degree(v))
+		}
+	}
+}
+
+func TestRandomTreeIsTree(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		g := RandomTree(100, seed)
+		if g.M() != 99 {
+			t.Fatalf("tree edges = %d", g.M())
+		}
+		if len(Components(g)) != 1 {
+			t.Fatal("tree not connected")
+		}
+	}
+}
+
+func TestBarabasiAlbertDegrees(t *testing.T) {
+	g := BarabasiAlbert(500, 3, 11)
+	if g.N() != 500 {
+		t.Fatalf("BA N = %d", g.N())
+	}
+	// Every non-core node attaches with m distinct edges.
+	if g.M() < 3*(500-4) {
+		t.Fatalf("BA M = %d too small", g.M())
+	}
+	// Heavy tail: max degree should well exceed the mean.
+	if float64(g.MaxDegree()) < 3*g.AvgDegree() {
+		t.Fatalf("BA max degree %d not heavy-tailed vs avg %v", g.MaxDegree(), g.AvgDegree())
+	}
+}
+
+func TestGrid2D(t *testing.T) {
+	g := Grid2D(3, 4)
+	if g.N() != 12 {
+		t.Fatalf("grid N = %d", g.N())
+	}
+	if g.M() != 3*3+2*4 {
+		t.Fatalf("grid M = %d", g.M())
+	}
+	if g.MaxDegree() != 4 {
+		t.Fatalf("grid max degree = %d", g.MaxDegree())
+	}
+}
+
+func TestTorusRegular(t *testing.T) {
+	g := Torus2D(5, 5)
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) != 4 {
+			t.Fatalf("torus degree(%d) = %d", v, g.Degree(v))
+		}
+	}
+}
+
+func TestCliqueChain(t *testing.T) {
+	g := CliqueChain(3, 4)
+	if g.N() != 12 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if len(Components(g)) != 1 {
+		t.Fatal("clique chain not connected")
+	}
+	// A middle clique's first node has 3 clique neighbors plus a bridge to
+	// each adjacent clique.
+	if g.MaxDegree() != 5 {
+		t.Fatalf("max degree = %d", g.MaxDegree())
+	}
+}
+
+func TestNearRegularDegrees(t *testing.T) {
+	g := NearRegular(400, 8, 3)
+	for v := 0; v < g.N(); v++ {
+		if d := g.Degree(v); d > 8 {
+			t.Fatalf("NearRegular degree(%d) = %d > 8", v, d)
+		}
+	}
+	if g.AvgDegree() < 6 {
+		t.Fatalf("NearRegular avg degree %v too low", g.AvgDegree())
+	}
+}
+
+func TestFamiliesCatalog(t *testing.T) {
+	for _, fam := range Families(8) {
+		g := fam.Make(200, 1)
+		if err := g.Validate(); err != nil {
+			t.Errorf("family %s: %v", fam.Name, err)
+		}
+		if g.N() == 0 {
+			t.Errorf("family %s produced empty graph", fam.Name)
+		}
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := Star(5)
+	h := DegreeHistogram(g)
+	if len(h) != 5 {
+		t.Fatalf("hist len = %d", len(h))
+	}
+	if h[1] != 4 || h[4] != 1 {
+		t.Fatalf("hist = %v", h)
+	}
+}
+
+// Property: build from random edge list always yields a valid graph whose
+// HasEdge agrees with the input set.
+func TestBuildProperty(t *testing.T) {
+	f := func(nRaw uint8, pairs [][2]uint8) bool {
+		n := int(nRaw%50) + 2
+		b := NewBuilder(n)
+		want := map[[2]int]bool{}
+		for _, p := range pairs {
+			u, v := int(p[0])%n, int(p[1])%n
+			b.AddEdge(u, v)
+			if u != v {
+				if u > v {
+					u, v = v, u
+				}
+				want[[2]int{u, v}] = true
+			}
+		}
+		g := b.Build()
+		if g.Validate() != nil {
+			return false
+		}
+		if g.M() != len(want) {
+			return false
+		}
+		for e := range want {
+			if !g.HasEdge(e[0], e[1]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegreesSorted(t *testing.T) {
+	ds := Degrees(BarabasiAlbert(100, 2, 1))
+	for i := 1; i < len(ds); i++ {
+		if ds[i] > ds[i-1] {
+			t.Fatal("Degrees not descending")
+		}
+	}
+}

@@ -1,0 +1,180 @@
+// Package linial implements Linial's one-round color reduction [Lin92,
+// Theorem 5.1]: given a proper k-coloring of a graph with maximum degree
+// Δ, one communication round yields a proper O(Δ² log k)-coloring.
+//
+// The paper's Phase III cites this reduction for coloring the
+// low-indegree cluster graph H_L (Section 2.3 / 3.2). The production path
+// in internal/phase3 uses the Cole–Vishkin step instead, which exploits
+// H_L's out-degree-1 orientation (see DESIGN.md, substitution 4); this
+// package provides the general, orientation-free construction for the A4
+// ablation and for reuse.
+//
+// Construction: pick a prime q with q > d·Δ and q^(d+1) >= k for some
+// degree bound d. Map every color x < k to the degree-<=d polynomial p_x
+// over F_q whose coefficients are the base-q digits of x, and let
+// F_x = {(i, p_x(i)) : i in F_q} ⊂ [q²]. Two distinct polynomials agree on
+// at most d points, so the d·Δ < q points a node's neighbors can cover
+// never exhaust F_x: the node picks the smallest uncovered point as its
+// new color in [q²].
+package linial
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Step describes one reduction round's parameters.
+type Step struct {
+	Q int // field size (prime)
+	D int // polynomial degree bound
+	K int // input palette size
+}
+
+// NewPalette returns the output palette size q².
+func (s Step) NewPalette() int { return s.Q * s.Q }
+
+// PlanStep chooses (q, d) for reducing a k-coloring on a graph of maximum
+// degree maxDeg. It returns an error only for invalid inputs.
+func PlanStep(k, maxDeg int) (Step, error) {
+	if k < 1 {
+		return Step{}, fmt.Errorf("linial: palette %d < 1", k)
+	}
+	if maxDeg < 0 {
+		return Step{}, fmt.Errorf("linial: negative degree")
+	}
+	if maxDeg == 0 {
+		maxDeg = 1
+	}
+	// Scan primes q; for each, the smallest usable degree d satisfies
+	// q^(d+1) >= k, and q must exceed d*maxDeg.
+	for q := 2; ; q++ {
+		if !isPrime(q) {
+			continue
+		}
+		d := 0
+		pow := q
+		for pow < k && d < 64 {
+			pow *= q
+			d++
+		}
+		if q > d*maxDeg {
+			return Step{Q: q, D: d, K: k}, nil
+		}
+		if q > 4*maxDeg*64 {
+			return Step{}, fmt.Errorf("linial: no (q,d) found for k=%d Δ=%d", k, maxDeg)
+		}
+	}
+}
+
+func isPrime(n int) bool {
+	if n < 2 {
+		return false
+	}
+	for f := 2; f*f <= n; f++ {
+		if n%f == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// polyEval evaluates the polynomial whose coefficients are the base-q
+// digits of color at point i over F_q.
+func (s Step) polyEval(color, i int) int {
+	v, pw, c := 0, 1, color
+	for t := 0; t <= s.D; t++ {
+		coef := c % s.Q
+		c /= s.Q
+		v = (v + coef*pw) % s.Q
+		pw = (pw * i) % s.Q
+	}
+	return v
+}
+
+// SetOf returns the cover-free set F_color as sorted point indices in
+// [0, q²), where point (i, y) has index i*q + y.
+func (s Step) SetOf(color int) []int {
+	out := make([]int, s.Q)
+	for i := 0; i < s.Q; i++ {
+		out[i] = i*s.Q + s.polyEval(color, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Recolor computes a node's new color from its own color and its
+// neighbors' colors. The input coloring must be proper; the output is a
+// proper coloring with palette q².
+func (s Step) Recolor(own int, neighbors []int) (int, error) {
+	covered := make(map[int]bool, len(neighbors)*s.Q)
+	for _, nc := range neighbors {
+		if nc == own {
+			return 0, fmt.Errorf("linial: input coloring not proper (color %d repeated)", own)
+		}
+		for _, pt := range s.SetOf(nc) {
+			covered[pt] = true
+		}
+	}
+	for _, pt := range s.SetOf(own) {
+		if !covered[pt] {
+			return pt, nil
+		}
+	}
+	return 0, fmt.Errorf("linial: no free point for color %d with %d neighbors (q=%d d=%d)",
+		own, len(neighbors), s.Q, s.D)
+}
+
+// Reduce applies one reduction round to a full coloring. adj[v] lists v's
+// neighbors. It returns the new coloring and its palette size.
+func Reduce(colors []int, adj [][]int, maxDeg int) ([]int, int, error) {
+	k := 0
+	for _, c := range colors {
+		if c+1 > k {
+			k = c + 1
+		}
+	}
+	step, err := PlanStep(k, maxDeg)
+	if err != nil {
+		return nil, 0, err
+	}
+	out := make([]int, len(colors))
+	nbrColors := make([]int, 0, maxDeg)
+	for v := range colors {
+		nbrColors = nbrColors[:0]
+		for _, u := range adj[v] {
+			nbrColors = append(nbrColors, colors[u])
+		}
+		nc, err := step.Recolor(colors[v], nbrColors)
+		if err != nil {
+			return nil, 0, fmt.Errorf("node %d: %w", v, err)
+		}
+		out[v] = nc
+	}
+	return out, step.NewPalette(), nil
+}
+
+// ReduceToFixpoint iterates Reduce until the palette stops shrinking,
+// returning the final coloring, palette, and the number of rounds — the
+// "run Linial for O(log* n) rounds" regime of Section 3.2.
+func ReduceToFixpoint(colors []int, adj [][]int, maxDeg, maxRounds int) ([]int, int, int, error) {
+	cur := append([]int(nil), colors...)
+	palette := 0
+	for _, c := range cur {
+		if c+1 > palette {
+			palette = c + 1
+		}
+	}
+	rounds := 0
+	for rounds < maxRounds {
+		next, np, err := Reduce(cur, adj, maxDeg)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		if np >= palette {
+			break
+		}
+		cur, palette = next, np
+		rounds++
+	}
+	return cur, palette, rounds, nil
+}

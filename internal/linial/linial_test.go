@@ -1,0 +1,180 @@
+package linial
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/energymis/energymis/internal/graph"
+)
+
+func adjOf(g *graph.Graph) [][]int {
+	adj := make([][]int, g.N())
+	for v := 0; v < g.N(); v++ {
+		for _, u := range g.Neighbors(v) {
+			adj[v] = append(adj[v], int(u))
+		}
+	}
+	return adj
+}
+
+func properOrFatal(t *testing.T, g *graph.Graph, colors []int) {
+	t.Helper()
+	for v := 0; v < g.N(); v++ {
+		for _, u := range g.Neighbors(v) {
+			if colors[v] == colors[u] {
+				t.Fatalf("edge (%d,%d) monochromatic: %d", v, u, colors[v])
+			}
+		}
+	}
+}
+
+func TestPlanStep(t *testing.T) {
+	s, err := PlanStep(1<<20, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Q <= s.D*10 {
+		t.Fatalf("q=%d not above d*Δ=%d", s.Q, s.D*10)
+	}
+	// q^(d+1) >= k
+	pow := 1
+	for i := 0; i <= s.D; i++ {
+		pow *= s.Q
+	}
+	if pow < 1<<20 {
+		t.Fatalf("q^(d+1)=%d < k", pow)
+	}
+	if _, err := PlanStep(0, 5); err == nil {
+		t.Fatal("PlanStep(0) accepted")
+	}
+}
+
+func TestCoverFreeProperty(t *testing.T) {
+	// For any color x and any Δ other colors, the union of their sets
+	// must not cover F_x.
+	s, err := PlanStep(200, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 0; x < 20; x++ {
+		others := []int{(x + 1) % 200, (x + 7) % 200, (x + 13) % 200, (x + 101) % 200}
+		covered := map[int]bool{}
+		for _, o := range others {
+			for _, pt := range s.SetOf(o) {
+				covered[pt] = true
+			}
+		}
+		free := 0
+		for _, pt := range s.SetOf(x) {
+			if !covered[pt] {
+				free++
+			}
+		}
+		if free == 0 {
+			t.Fatalf("color %d fully covered by %v", x, others)
+		}
+	}
+}
+
+func TestReduceOnGraphs(t *testing.T) {
+	cases := []*graph.Graph{
+		graph.Cycle(101),
+		graph.Grid2D(13, 17),
+		graph.GNP(300, 0.02, 3),
+		graph.RandomTree(200, 5),
+		graph.CompleteBipartite(6, 6),
+	}
+	for gi, g := range cases {
+		adj := adjOf(g)
+		colors := make([]int, g.N())
+		for v := range colors {
+			colors[v] = v // IDs are a proper n-coloring
+		}
+		next, palette, err := Reduce(colors, adj, g.MaxDegree())
+		if err != nil {
+			t.Fatalf("graph %d: %v", gi, err)
+		}
+		properOrFatal(t, g, next)
+		// One round reaches O(Δ² log k); for small k relative to Δ² the
+		// palette may not shrink yet, but it must stay near that bound.
+		dd := g.MaxDegree() * g.MaxDegree()
+		if palette > 8*dd*20 && palette >= 2*g.N() {
+			t.Fatalf("graph %d: palette %d far above O(Δ² log k) (Δ²=%d, n=%d)", gi, palette, dd, g.N())
+		}
+		for _, c := range next {
+			if c < 0 || c >= palette {
+				t.Fatalf("graph %d: color %d outside palette %d", gi, c, palette)
+			}
+		}
+	}
+}
+
+func TestReduceToFixpoint(t *testing.T) {
+	g := graph.NearRegular(500, 8, 7)
+	adj := adjOf(g)
+	colors := make([]int, g.N())
+	for v := range colors {
+		colors[v] = v
+	}
+	final, palette, rounds, err := ReduceToFixpoint(colors, adj, g.MaxDegree(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	properOrFatal(t, g, final)
+	if rounds < 2 {
+		t.Fatalf("fixpoint after %d rounds; expected at least 2 from palette 500", rounds)
+	}
+	// Linial's bound: final palette O(Δ²·small). For Δ=8 the polynomial
+	// construction bottoms out in the low hundreds.
+	if palette > 2000 {
+		t.Fatalf("final palette %d too large", palette)
+	}
+	t.Logf("palette 500 -> %d in %d rounds (Δ=%d)", palette, rounds, g.MaxDegree())
+}
+
+func TestRecolorRejectsImproper(t *testing.T) {
+	s, err := PlanStep(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Recolor(4, []int{4}); err == nil {
+		t.Fatal("improper input accepted")
+	}
+}
+
+func TestPolyDeterministic(t *testing.T) {
+	f := func(colorRaw uint16, iRaw uint8) bool {
+		s, err := PlanStep(1000, 6)
+		if err != nil {
+			return false
+		}
+		color := int(colorRaw) % 1000
+		i := int(iRaw) % s.Q
+		return s.polyEval(color, i) == s.polyEval(color, i)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistinctColorsDistinctSets(t *testing.T) {
+	s, err := PlanStep(100, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < 30; a++ {
+		for b := a + 1; b < 30; b++ {
+			sa, sb := s.SetOf(a), s.SetOf(b)
+			same := 0
+			for i := range sa {
+				if sa[i] == sb[i] {
+					same++
+				}
+			}
+			// Distinct degree-<=d polynomials agree on at most d points.
+			if same > s.D {
+				t.Fatalf("colors %d,%d agree on %d > d=%d points", a, b, same, s.D)
+			}
+		}
+	}
+}

@@ -1,0 +1,161 @@
+// Package luby implements Luby's classic randomized MIS algorithm
+// [Lub86, ABI86], the O(log n)-round state of the art that the paper uses
+// as its time-complexity yardstick (Section 1.2).
+//
+// The variant implemented is the degree-based one described in Section 3.1
+// of the paper: per round every undecided node marks itself with
+// probability 1/(2 deg(v)), where deg counts undecided neighbors; for any
+// edge with both endpoints marked, the endpoint with lower degree (ties by
+// lower ID) unmarks; surviving marked nodes join the MIS and their
+// neighbors drop out.
+//
+// Energy behavior: a node stays awake until it is decided and has told its
+// neighbors, so the energy complexity equals the time complexity — the
+// Θ(log n) baseline the paper improves on.
+package luby
+
+import (
+	"fmt"
+
+	"github.com/energymis/energymis/internal/graph"
+	"github.com/energymis/energymis/internal/sim"
+)
+
+// Message kinds.
+const (
+	kindMark    = 1 // A = remaining degree of the sender
+	kindJoin    = 2
+	kindRemoved = 3
+)
+
+// Machine is the per-node Luby automaton. After the run, InMIS reports the
+// node's output.
+type Machine struct {
+	env *sim.Env
+
+	InMIS   bool
+	decided bool
+
+	activeDeg   int
+	marked      bool
+	justDecided bool
+	removedSent bool
+}
+
+var _ sim.Machine = (*Machine)(nil)
+
+// Init implements sim.Machine.
+func (m *Machine) Init(env *sim.Env) int {
+	m.env = env
+	m.activeDeg = env.Degree
+	return 0
+}
+
+// Compose implements sim.Machine. Engine round 3r+s is sub-round s of
+// logical round r.
+func (m *Machine) Compose(round int, out *sim.Outbox) {
+	switch round % 3 {
+	case 0: // marking sub-round
+		if m.decided {
+			return
+		}
+		p := 1.0
+		if m.activeDeg > 0 {
+			p = 1 / (2 * float64(m.activeDeg))
+		}
+		m.marked = m.env.Rand.Bernoulli(p)
+		if m.marked {
+			out.Broadcast(sim.Msg{
+				Kind: kindMark,
+				A:    uint64(m.activeDeg),
+				Bits: int32(bitsFor(m.env.N)),
+			})
+		}
+	case 1: // join sub-round
+		if m.marked && !m.decided {
+			out.Broadcast(sim.Msg{Kind: kindJoin, Bits: 1})
+		}
+	case 2: // removal notification sub-round
+		if m.justDecided && !m.removedSent {
+			out.Broadcast(sim.Msg{Kind: kindRemoved, Bits: 1})
+			m.removedSent = true
+		}
+	}
+}
+
+// Deliver implements sim.Machine.
+func (m *Machine) Deliver(round int, inbox []sim.Msg) int {
+	switch round % 3 {
+	case 0:
+		// Unmark if a marked neighbor beats us: higher remaining degree,
+		// ties broken toward the higher ID ("remove the marking of the
+		// endpoint with the lower degree, breaking ties arbitrarily").
+		if m.marked {
+			for _, msg := range inbox {
+				if msg.Kind != kindMark {
+					continue
+				}
+				d := int(msg.A)
+				if d > m.activeDeg || (d == m.activeDeg && msg.From > int32(m.env.Node)) {
+					m.marked = false
+					break
+				}
+			}
+		}
+		return round + 1
+	case 1:
+		if !m.decided {
+			if m.marked {
+				// No conflicting marked neighbor remained: join.
+				m.InMIS = true
+				m.decided = true
+				m.justDecided = true
+			}
+			for _, msg := range inbox {
+				if msg.Kind == kindJoin && !m.InMIS {
+					m.decided = true
+					m.justDecided = true
+				}
+			}
+		}
+		m.marked = false
+		return round + 1
+	default:
+		for _, msg := range inbox {
+			if msg.Kind == kindRemoved {
+				m.activeDeg--
+			}
+		}
+		if m.decided {
+			return sim.Never
+		}
+		return round + 1
+	}
+}
+
+// Run executes Luby's algorithm on g and returns the MIS and the engine
+// result.
+func Run(g *graph.Graph, cfg sim.Config) ([]bool, *sim.Result, error) {
+	machines := make([]sim.Machine, g.N())
+	nodes := make([]Machine, g.N())
+	for v := range machines {
+		machines[v] = &nodes[v]
+	}
+	res, err := sim.Run(g, machines, cfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("luby: %w", err)
+	}
+	inSet := make([]bool, g.N())
+	for v := range nodes {
+		inSet[v] = nodes[v].InMIS
+	}
+	return inSet, res, nil
+}
+
+func bitsFor(n int) int {
+	b := 1
+	for p := 1; p < n; p <<= 1 {
+		b++
+	}
+	return b
+}

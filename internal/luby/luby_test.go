@@ -1,0 +1,121 @@
+package luby
+
+import (
+	"math"
+	"testing"
+
+	"github.com/energymis/energymis/internal/graph"
+	"github.com/energymis/energymis/internal/sim"
+	"github.com/energymis/energymis/internal/verify"
+)
+
+func runOn(t *testing.T, g *graph.Graph, seed uint64) ([]bool, *sim.Result) {
+	t.Helper()
+	inSet, res, err := Run(g, sim.Config{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inSet, res
+}
+
+func TestComputesMIS(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"gnp-sparse", graph.GNP(500, 0.01, 1)},
+		{"gnp-dense", graph.GNP(300, 0.2, 2)},
+		{"complete", graph.Complete(64)},
+		{"star", graph.Star(100)},
+		{"cycle", graph.Cycle(101)},
+		{"path", graph.Path(64)},
+		{"tree", graph.RandomTree(300, 3)},
+		{"grid", graph.Grid2D(17, 19)},
+		{"ba", graph.BarabasiAlbert(400, 3, 4)},
+		{"edgeless", graph.NewBuilder(40).Build()},
+		{"single", graph.Path(1)},
+		{"cliquechain", graph.CliqueChain(8, 7)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			inSet, _ := runOn(t, c.g, 7)
+			if err := verify.Check(c.g, inSet); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestManySeeds(t *testing.T) {
+	g := graph.GNP(200, 0.05, 9)
+	for seed := uint64(0); seed < 20; seed++ {
+		inSet, _, err := Run(g, sim.Config{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := verify.Check(g, inSet); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestCliqueMISSizeOne(t *testing.T) {
+	inSet, _ := runOn(t, graph.Complete(50), 3)
+	if got := verify.Count(inSet); got != 1 {
+		t.Fatalf("clique MIS size = %d, want 1", got)
+	}
+}
+
+func TestEdgelessAllJoin(t *testing.T) {
+	g := graph.NewBuilder(25).Build()
+	inSet, res := runOn(t, g, 1)
+	if got := verify.Count(inSet); got != 25 {
+		t.Fatalf("edgeless MIS size = %d, want 25", got)
+	}
+	// Isolated nodes decide in the very first logical round.
+	if res.MaxAwake() > 3 {
+		t.Fatalf("isolated nodes awake %d rounds, want <= 3", res.MaxAwake())
+	}
+}
+
+func TestLogarithmicRounds(t *testing.T) {
+	// Luby terminates in O(log n) logical rounds w.h.p. Use a generous
+	// constant: 12 * log2(n) logical rounds = 36 log2 n engine rounds.
+	for _, n := range []int{100, 1000, 4000} {
+		g := graph.GNP(n, 10/float64(n), uint64(n))
+		_, res := runOn(t, g, 5)
+		bound := int(36 * math.Log2(float64(n)))
+		if res.Rounds > bound {
+			t.Fatalf("n=%d: %d rounds exceeds %d", n, res.Rounds, bound)
+		}
+	}
+}
+
+func TestEnergyEqualsDecisionTime(t *testing.T) {
+	// The point of the baseline: max awake grows with log n (it is within
+	// a factor 3 of the total rounds since undecided nodes stay awake).
+	g := graph.GNP(2000, 0.005, 11)
+	_, res := runOn(t, g, 3)
+	if res.MaxAwake() < res.Rounds/3 {
+		t.Fatalf("maxAwake %d unexpectedly far below rounds %d", res.MaxAwake(), res.Rounds)
+	}
+}
+
+func TestCongestCompliance(t *testing.T) {
+	g := graph.GNP(1000, 0.01, 13)
+	_, res := runOn(t, g, 1)
+	if res.Violations != 0 {
+		t.Fatalf("CONGEST violations: %d (bitsMax=%d)", res.Violations, res.BitsMax)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	g := graph.GNP(300, 0.02, 17)
+	a, _ := runOn(t, g, 42)
+	b, _ := runOn(t, g, 42)
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatalf("node %d output differs across identical runs", v)
+		}
+	}
+}

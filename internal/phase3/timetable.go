@@ -1,0 +1,286 @@
+// Package phase3 implements Phase III of both algorithms: the
+// deterministic, energy-efficient Borůvka-style cluster merging of
+// Lemma 2.8 and the parallel-executions MIS finisher of Lemma 2.7.
+//
+// The phase runs on the shattered residual graph, whose connected
+// components have poly(log n) size. All components execute the same global
+// timetable in parallel. The timetable is static: every node can compute,
+// from public parameters only, the engine round of every stage, and wakes
+// only at the stages its current role requires (everything else is spent
+// asleep), which is how the phase reaches O(1) awake rounds per merge
+// iteration.
+//
+// One merge iteration consists of:
+//
+//	X0   every node exchanges its cluster ID with its neighbors;
+//	CC1  convergecast: minimum (neighbor cluster ID, edge ID) → root;
+//	BC1  broadcast: the cluster's chosen outgoing edge;
+//	X1   the chosen edge is announced across; mutual choices form M edges;
+//	CC2  convergecast: indegree count and M status;
+//	BC2  broadcast: high/low indegree verdict, M partner;
+//	X2a  every node announces its cluster's (high, M) status;
+//	X2b  boundary nodes of high clusters send EH-accepts to in-neighbors;
+//	CV   color reduction on the out-forest H_L: LR rounds, each
+//	     broadcast(color) + cross-edge exchange + convergecast;
+//	     (the paper invokes Linial's reduction; on a forest with known
+//	     out-orientation the Cole–Vishkin step gives the same
+//	     O(log log n)-colors-in-2-rounds / O(1)-colors-in-log*-rounds
+//	     trade-off with identical class counts)
+//	CL   class loop: for each color c, availability exchange, a proposal
+//	     convergecast + decision broadcast inside clusters of color c, and
+//	     an accept exchange — the maximal matching M_L of the paper;
+//	CC3  convergecast: leaf roles (EH/ML) discovered at boundary nodes;
+//	BC3  broadcast: the cluster's merge role and merge-edge status;
+//	XR   merge-edge status exchange (for the R-edge rule);
+//	XR2  R-attach requests;
+//	MG   four merge sub-stages (M, EH, ML, R), each: a depth handshake
+//	     across the merge edge, then a convergecast + broadcast in the leaf
+//	     cluster that re-roots it at the attachment point (the "one
+//	     convergecast + one broadcast re-rooting" of the paper).
+//
+// After Iters iterations every component is a single cluster with a rooted
+// spanning tree; the finisher then runs K packed executions of the
+// [Gha16/Gha19] dynamics, AND-convergecasts the per-execution success bits,
+// and broadcasts the index of a fully successful execution (Lemma 2.7),
+// retrying with fresh randomness if none succeeded.
+package phase3
+
+import (
+	"math"
+)
+
+// Mode selects the color-reduction depth, the knob that distinguishes the
+// Phase III of Algorithm 1 from that of Algorithm 2 (Section 3.2).
+type Mode int
+
+// Modes.
+const (
+	// ModeAlg1 runs two color-reduction rounds, leaving O(log log n)
+	// color classes (Algorithm 1 / Lemma 2.8).
+	ModeAlg1 Mode = iota + 1
+	// ModeAlg2 runs O(log* n) reduction rounds to a constant palette
+	// (Algorithm 2 / [BM21a, Theorem 5.2] trade-off).
+	ModeAlg2
+)
+
+// Params configures Phase III.
+type Params struct {
+	Mode Mode
+	// IndegreeThresh is the high-indegree cutoff; the paper uses 10.
+	IndegreeThresh int
+	// GhaffariC scales the finisher's logical round count:
+	// GRounds = ceil(GhaffariC * log2(maxComp+2)) + GhaffariFloor.
+	GhaffariC     float64
+	GhaffariFloor int
+	// K is the number of packed parallel executions (0 = 2*ceil(log2 n),
+	// clamped to [8, 128]).
+	K int
+	// Attempts bounds finisher retries per component.
+	Attempts int
+	// DepthCap overrides the tree-depth bound D (0 = maxComp+1). The
+	// paper's analysis uses O(log n) here.
+	DepthCap int
+}
+
+// DefaultParams returns paper-faithful constants for the given mode.
+func DefaultParams(mode Mode) Params {
+	return Params{
+		Mode:           mode,
+		IndegreeThresh: 10,
+		GhaffariC:      2.5,
+		GhaffariFloor:  8,
+		Attempts:       3,
+	}
+}
+
+// iterLayout holds round offsets of every stage within one iteration.
+// Windows of tree operations are D rounds long; exchanges are 1 round.
+type iterLayout struct {
+	d       int
+	x0      int
+	cc1     int
+	bc1     int
+	x1      int
+	cc2     int
+	bc2     int
+	x2a     int
+	x2b     int
+	cvBase  int // LR blocks of length (2D+1): BC, X, CC
+	lr      int
+	clBase  int // C blocks of length (2D+2): Xa, CCa, BCa, Xb
+	classes int
+	cc3     int
+	bc3     int
+	xr      int
+	xr2     int
+	mgBase  int // 4 blocks of length (2D+1): Xm, CCm, BCm
+	length  int
+}
+
+func makeIterLayout(d, lr, classes int) iterLayout {
+	l := iterLayout{d: d, lr: lr, classes: classes}
+	off := 0
+	next := func(n int) int { v := off; off += n; return v }
+	l.x0 = next(1)
+	l.cc1 = next(d)
+	l.bc1 = next(d)
+	l.x1 = next(1)
+	l.cc2 = next(d)
+	l.bc2 = next(d)
+	l.x2a = next(1)
+	l.x2b = next(1)
+	l.cvBase = next(lr * (2*d + 1))
+	l.clBase = next(classes * (2*d + 2))
+	l.cc3 = next(d)
+	l.bc3 = next(d)
+	l.xr = next(1)
+	l.xr2 = next(1)
+	l.mgBase = next(4 * (2*d + 1))
+	l.length = off
+	return l
+}
+
+// cvBlock returns the stage offsets of color-reduction round r.
+func (l iterLayout) cvBlock(r int) (bc, x, cc int) {
+	base := l.cvBase + r*(2*l.d+1)
+	return base, base + l.d, base + l.d + 1
+}
+
+// clBlock returns the stage offsets of class c's window.
+func (l iterLayout) clBlock(c int) (xa, cca, bca, xb int) {
+	base := l.clBase + c*(2*l.d+2)
+	return base, base + 1, base + 1 + l.d, base + 1 + 2*l.d
+}
+
+// mgBlock returns the stage offsets of merge sub-stage s (0=M, 1=EH,
+// 2=ML, 3=R).
+func (l iterLayout) mgBlock(s int) (xm, ccm, bcm int) {
+	base := l.mgBase + s*(2*l.d+1)
+	return base, base + 1, base + 1 + l.d
+}
+
+// Timetable is the full static schedule of a Phase III run.
+type Timetable struct {
+	N       int   // nodes in the phase graph
+	D       int   // tree-depth bound per window
+	Iters   int   // merge iterations
+	LR      int   // color-reduction rounds
+	Classes int   // palette size after reduction
+	Palette []int // palette sizes before each reduction round (len LR+1)
+
+	GRounds  int // finisher logical rounds per attempt
+	K        int // packed executions
+	Attempts int
+
+	layout   iterLayout
+	finCheck int // round: cluster-ID check exchange
+	finCCb   int // window: broken-flag convergecast
+	finBCb   int // window: broken-flag broadcast
+	finBase  int // first round of attempt 0
+	attLen   int // rounds per attempt: 2*GRounds + 2D
+	TotalLen int
+}
+
+// cvNext is one Cole–Vishkin step on an oriented forest: a k-coloring
+// becomes a 2*ceil(log2 k)-coloring.
+func cvNext(k int) int {
+	if k <= 2 {
+		return 2
+	}
+	b := int(math.Ceil(math.Log2(float64(k))))
+	n := 2 * b
+	if n >= k {
+		return k
+	}
+	return n
+}
+
+// NewTimetable computes the schedule for an n-node phase graph whose
+// largest connected component has maxComp nodes.
+func NewTimetable(n, maxComp int, p Params) *Timetable {
+	if maxComp < 1 {
+		maxComp = 1
+	}
+	d := maxComp + 1
+	if p.DepthCap > 0 && p.DepthCap < d {
+		d = p.DepthCap
+	}
+	if d < 2 {
+		d = 2
+	}
+	// Each cluster merges with at least one other per iteration, halving
+	// the cluster count; +2 covers the rare iteration in which a high
+	// cluster's in-edges all came from other high clusters.
+	iters := int(math.Ceil(math.Log2(float64(maxComp+1)))) + 2
+	if iters < 1 {
+		iters = 1
+	}
+
+	// Color palette chain, starting from cluster IDs in [0, n).
+	k0 := n
+	if k0 < 2 {
+		k0 = 2
+	}
+	palette := []int{k0}
+	lr := 0
+	switch p.Mode {
+	case ModeAlg2:
+		for lr < 12 {
+			nk := cvNext(palette[lr])
+			if nk >= palette[lr] {
+				break
+			}
+			palette = append(palette, nk)
+			lr++
+		}
+	default: // ModeAlg1: exactly two reduction rounds
+		for lr < 2 {
+			palette = append(palette, cvNext(palette[lr]))
+			lr++
+		}
+	}
+	classes := palette[lr]
+
+	k := p.K
+	if k <= 0 {
+		k = 2 * int(math.Ceil(math.Log2(float64(n+2))))
+		if k < 8 {
+			k = 8
+		}
+	}
+	if k > 128 {
+		k = 128
+	}
+	gr := int(math.Ceil(p.GhaffariC*math.Log2(float64(maxComp+2)))) + p.GhaffariFloor
+	attempts := p.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+
+	tt := &Timetable{
+		N: n, D: d, Iters: iters, LR: lr, Classes: classes, Palette: palette,
+		GRounds: gr, K: k, Attempts: attempts,
+		layout: makeIterLayout(d, lr, classes),
+	}
+	tt.finCheck = iters * tt.layout.length
+	tt.finCCb = tt.finCheck + 1
+	tt.finBCb = tt.finCCb + d
+	tt.finBase = tt.finBCb + d
+	tt.attLen = 2*gr + 2*d
+	tt.TotalLen = tt.finBase + attempts*tt.attLen
+	return tt
+}
+
+// iterBase returns the first round of iteration i.
+func (tt *Timetable) iterBase(i int) int { return i * tt.layout.length }
+
+// attBase returns the first round of finisher attempt a.
+func (tt *Timetable) attBase(a int) int { return tt.finBase + a*tt.attLen }
+
+// attStages returns the offsets of attempt a's stages: the ghaffari block
+// [g0, g0+2*GRounds), the success convergecast window, and the result
+// broadcast window.
+func (tt *Timetable) attStages(a int) (g0, cc, bc int) {
+	b := tt.attBase(a)
+	return b, b + 2*tt.GRounds, b + 2*tt.GRounds + tt.D
+}

@@ -1,0 +1,214 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := NewForNode(42, 7)
+	b := NewForNode(42, 7)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("streams diverged at step %d: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestNodeStreamsDiffer(t *testing.T) {
+	a := NewForNode(42, 0)
+	b := NewForNode(42, 1)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("adjacent node streams collided %d/64 times", same)
+	}
+}
+
+func TestSeedChangesStream(t *testing.T) {
+	a := NewForNode(1, 5)
+	b := NewForNode(2, 5)
+	if a.Uint64() == b.Uint64() && a.Uint64() == b.Uint64() {
+		t.Fatal("different seeds produced identical stream prefix")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(9)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(123)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(7)
+	for _, n := range []int{1, 2, 3, 10, 1000, 1 << 30} {
+		for i := 0; i < 1000; i++ {
+			v := s.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniform(t *testing.T) {
+	s := New(55)
+	const buckets, draws = 8, 160000
+	counts := make([]int, buckets)
+	for i := 0; i < draws; i++ {
+		counts[s.Intn(buckets)]++
+	}
+	want := float64(draws) / buckets
+	for b, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Fatalf("bucket %d count %d deviates from %v", b, c, want)
+		}
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 100; i++ {
+		if s.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !s.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+		if s.Bernoulli(-0.5) {
+			t.Fatal("Bernoulli(-0.5) returned true")
+		}
+		if !s.Bernoulli(1.5) {
+			t.Fatal("Bernoulli(1.5) returned false")
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	s := New(31)
+	const p, n = 0.3, 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if s.Bernoulli(p) {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if math.Abs(rate-p) > 0.01 {
+		t.Fatalf("Bernoulli(%v) rate %v", p, rate)
+	}
+}
+
+func TestFirstSuccess(t *testing.T) {
+	s := New(17)
+	if got := s.FirstSuccess(0, 100); got != -1 {
+		t.Fatalf("FirstSuccess(0) = %d, want -1", got)
+	}
+	if got := s.FirstSuccess(0.5, 0); got != -1 {
+		t.Fatalf("FirstSuccess with 0 rounds = %d, want -1", got)
+	}
+	if got := s.FirstSuccess(1, 10); got != 0 {
+		t.Fatalf("FirstSuccess(1) = %d, want 0", got)
+	}
+	// Distribution sanity: with p=0.5 the mean first success index is ~1.
+	sum, n := 0.0, 20000
+	for i := 0; i < n; i++ {
+		v := s.FirstSuccess(0.5, 64)
+		if v < 0 {
+			v = 64
+		}
+		sum += float64(v)
+	}
+	mean := sum / float64(n)
+	if mean < 0.9 || mean > 1.1 {
+		t.Fatalf("FirstSuccess(0.5) mean index %v, want ~1.0", mean)
+	}
+}
+
+func TestFirstSuccessInRange(t *testing.T) {
+	f := func(seed uint64, rounds uint8) bool {
+		s := New(seed)
+		r := int(rounds%32) + 1
+		v := s.FirstSuccess(0.2, r)
+		return v >= -1 && v < r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPerm(t *testing.T) {
+	s := New(77)
+	for _, n := range []int{0, 1, 2, 5, 100} {
+		p := s.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	s := New(5)
+	a := s.Fork(1)
+	b := s.Fork(2)
+	c := s.Fork(1)
+	if a.Uint64() != c.Uint64() {
+		t.Fatal("Fork with same tag not deterministic")
+	}
+	aNext, bNext := a.Uint64(), b.Uint64()
+	if aNext == bNext {
+		t.Fatal("Fork with different tags produced identical values")
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Uint64()
+	}
+}
+
+func BenchmarkBernoulli(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Bernoulli(0.1)
+	}
+}

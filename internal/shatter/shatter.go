@@ -1,0 +1,77 @@
+// Package shatter implements Phase II of both algorithms (Section 2.2,
+// Lemma 2.6): given the poly(log n)-degree residual left by Phase I, run
+// the desire-level dynamics of [Gha16] with every node awake, so that the
+// undecided survivors form only small ("shattered") connected components.
+//
+// The phase costs O(log Δ) rounds with all nodes awake — affordable
+// because Phase I already reduced Δ to poly(log n), so this is O(log log n)
+// energy. The paper additionally clusters survivors into
+// O(log log n)-diameter clusters via [Gha16, Gha19]; as documented in
+// DESIGN.md (substitution 2), this implementation starts Phase III from
+// singleton clusters, which leaves Phase III's iteration count and both
+// headline complexities unchanged because components have poly(log n) size
+// either way.
+package shatter
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/energymis/energymis/internal/ghaffari"
+	"github.com/energymis/energymis/internal/graph"
+	"github.com/energymis/energymis/internal/sim"
+)
+
+// Params are the tunable constants of the phase.
+type Params struct {
+	// RoundsC scales the round count: rounds = ceil(RoundsC·log2(Δ+2)) +
+	// Floor. The analysis needs Θ(log Δ) rounds for the per-node
+	// undecided-probability to reach 1/poly(Δ).
+	RoundsC float64
+	Floor   int
+}
+
+// DefaultParams returns practical constants: enough rounds that the
+// survivor components are small, short enough that shattering does not
+// degenerate into running the dynamics to completion (which would spend
+// Θ(log n)-style energy on the last deciders and leave Phase III idle).
+func DefaultParams() Params { return Params{RoundsC: 2, Floor: 4} }
+
+// Rounds returns the logical round count used for maximum degree maxDeg.
+func (p Params) Rounds(maxDeg int) int {
+	return int(math.Ceil(p.RoundsC*math.Log2(float64(maxDeg+2)))) + p.Floor
+}
+
+// Outcome of a shattering run.
+type Outcome struct {
+	InSet        []bool  // independent set found by the dynamics
+	Survivors    []int   // undecided nodes
+	Components   [][]int // survivor components (indices into the input graph)
+	MaxComponent int
+	Rounds       int
+	Res          *sim.Result
+}
+
+// Run executes the phase on g.
+func Run(g *graph.Graph, p Params, cfg sim.Config) (*Outcome, error) {
+	rounds := p.Rounds(g.MaxDegree())
+	inSet, survivors, res, err := ghaffari.RunShatter(g, rounds, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("shatter: %w", err)
+	}
+	out := &Outcome{InSet: inSet, Survivors: survivors, Rounds: rounds, Res: res}
+	if len(survivors) > 0 {
+		sub := graph.InducedSubgraph(g, survivors)
+		for _, comp := range graph.Components(sub.Graph) {
+			mapped := make([]int, len(comp))
+			for i, v := range comp {
+				mapped[i] = int(sub.Orig[v])
+			}
+			out.Components = append(out.Components, mapped)
+			if len(comp) > out.MaxComponent {
+				out.MaxComponent = len(comp)
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,92 @@
+package shatter
+
+import (
+	"testing"
+
+	"github.com/energymis/energymis/internal/graph"
+	"github.com/energymis/energymis/internal/sim"
+	"github.com/energymis/energymis/internal/verify"
+)
+
+func TestShatterSmallComponents(t *testing.T) {
+	// A polylog-degree graph, like the residual Phase I leaves behind.
+	g := graph.NearRegular(5000, 12, 3)
+	out, err := Run(g, DefaultParams(), sim.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, u, v := verify.IsIndependent(g, out.InSet); !ok {
+		t.Fatalf("dependent edge (%d,%d)", u, v)
+	}
+	// Lemma 2.6 regime: survivor components should be tiny relative to n.
+	if out.MaxComponent > 250 {
+		t.Fatalf("max survivor component %d of n=%d; shattering failed", out.MaxComponent, g.N())
+	}
+	if len(out.Survivors) > g.N()/10 {
+		t.Fatalf("%d/%d survivors", len(out.Survivors), g.N())
+	}
+}
+
+func TestComponentsPartitionSurvivors(t *testing.T) {
+	g := graph.GNP(2000, 6.0/2000, 5)
+	out, err := Run(g, DefaultParams(), sim.Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	total := 0
+	for _, comp := range out.Components {
+		for _, v := range comp {
+			if seen[v] {
+				t.Fatalf("node %d in two components", v)
+			}
+			seen[v] = true
+			total++
+		}
+	}
+	if total != len(out.Survivors) {
+		t.Fatalf("components cover %d nodes, survivors %d", total, len(out.Survivors))
+	}
+	for _, v := range out.Survivors {
+		if !seen[v] {
+			t.Fatalf("survivor %d not in any component", v)
+		}
+	}
+}
+
+func TestEnergyEqualsRounds(t *testing.T) {
+	// Phase II keeps all nodes awake: energy = 2 engine rounds per logical
+	// round.
+	g := graph.GNP(500, 0.02, 7)
+	out, err := Run(g, DefaultParams(), sim.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.Res.MaxAwake(); got > 2*out.Rounds {
+		t.Fatalf("MaxAwake %d > 2*rounds %d", got, 2*out.Rounds)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	out, err := Run(graph.NewBuilder(0).Build(), DefaultParams(), sim.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Survivors) != 0 || out.MaxComponent != 0 {
+		t.Fatal("empty graph produced survivors")
+	}
+}
+
+func TestIsolatedNodesDecideFast(t *testing.T) {
+	g := graph.NewBuilder(50).Build()
+	out, err := Run(g, DefaultParams(), sim.Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Survivors) != 0 {
+		t.Fatalf("isolated survivors: %d", len(out.Survivors))
+	}
+	if got := verify.Count(out.InSet); got != 50 {
+		t.Fatalf("isolated nodes in set: %d", got)
+	}
+}

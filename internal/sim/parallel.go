@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// composeParallel runs the Compose phase of one round over a worker pool.
+// Machines touch only their own state, and each outbox belongs to exactly
+// one node, so no synchronization beyond the WaitGroup barrier is needed.
+func (e *engine) composeParallel(awake []int32, round int) {
+	workers := e.cfg.Workers
+	if workers > len(awake) {
+		workers = len(awake)
+	}
+	var wg sync.WaitGroup
+	chunk := (len(awake) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(awake) {
+			hi = len(awake)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(part []int32) {
+			defer wg.Done()
+			for _, v := range part {
+				ob := &e.outboxes[v]
+				ob.reset(v, e.g.Neighbors(int(v)))
+				e.machines[v].Compose(round, ob)
+			}
+		}(awake[lo:hi])
+	}
+	wg.Wait()
+}
+
+// deliverParallel runs the Deliver phase of one round over a worker pool
+// and then applies scheduling decisions sequentially (the wake buckets are
+// shared state). Inboxes were filled in sender order by the sequential
+// routing phase, so per-node delivery order matches the sequential
+// executor exactly.
+func (e *engine) deliverParallel(awake []int32, round int) error {
+	workers := e.cfg.Workers
+	if workers > len(awake) {
+		workers = len(awake)
+	}
+	next := make([]int, len(awake))
+	var wg sync.WaitGroup
+	chunk := (len(awake) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(awake) {
+			hi = len(awake)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				v := awake[i]
+				next[i] = e.machines[v].Deliver(round, e.inboxes[v])
+				e.inboxes[v] = e.inboxes[v][:0]
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	for i, v := range awake {
+		if next[i] != Never && next[i] <= round {
+			return fmt.Errorf("sim: node %d returned wake round %d <= current %d", v, next[i], round)
+		}
+		if err := e.schedule(v, next[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

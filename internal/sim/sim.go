@@ -1,0 +1,336 @@
+// Package sim implements the synchronous CONGEST message-passing model
+// with sleeping (energy) semantics, as defined in Section 1.1 of Ghaffari &
+// Portmann (PODC 2023).
+//
+// The network is an undirected graph; computation proceeds in synchronous
+// rounds. In every round each *awake* node first composes at most one
+// message per incident edge, then receives the messages sent to it in the
+// same round by awake neighbors, and finally decides the next round in
+// which it will be awake. A sleeping node performs no computation, sends
+// nothing, receives nothing (messages addressed to it are dropped), and can
+// only wake by its own pre-arranged timer — never by a neighbor.
+//
+// The engine measures time complexity (total rounds) and energy complexity
+// (per-node awake-round counts), and accounts message sizes in bits against
+// the CONGEST budget B = O(log n).
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/energymis/energymis/internal/graph"
+	"github.com/energymis/energymis/internal/rng"
+)
+
+// Never is returned from Init or Deliver by a node that does not want to
+// wake again.
+const Never = -1
+
+// Msg is one CONGEST message. Protocols encode their payload into Kind/A/B
+// and declare its exact size in Bits; the engine verifies Bits against the
+// model budget but does not interpret the payload.
+type Msg struct {
+	From int32  // sender node index (filled by the engine)
+	Kind uint8  // protocol-defined tag
+	A, B uint64 // protocol-defined payload words
+	Bits int32  // declared payload size in bits (excluding From, which models the port number)
+}
+
+// Env gives a machine its static view of the network: everything a node is
+// allowed to know initially (its own neighborhood and global parameter
+// bounds), plus its private randomness.
+type Env struct {
+	Node      int // this node's index
+	N         int // number of nodes (a polynomial bound on n is standard knowledge)
+	Degree    int // this node's degree
+	Neighbors []int32
+	B         int // CONGEST message budget in bits
+	Rand      *rng.Stream
+}
+
+// Machine is the per-node protocol automaton.
+//
+// The engine calls Init once before round 0; the return value is the first
+// round in which the node is awake (Never to sleep forever). In each awake
+// round r the engine calls Compose(r, out) to collect outgoing messages and
+// then Deliver(r, inbox) with all messages received in r; Deliver returns
+// the next awake round, which must be > r (or Never).
+type Machine interface {
+	Init(env *Env) int
+	Compose(round int, out *Outbox)
+	Deliver(round int, inbox []Msg) int
+}
+
+// Outbox collects the messages a node sends in one round. At most one
+// message per neighbor per round is allowed (the CONGEST discipline);
+// Broadcast counts as one message on every incident edge.
+type Outbox struct {
+	node      int32
+	neighbors []int32
+	msgs      []addressed
+	bcast     []Msg
+}
+
+type addressed struct {
+	to  int32
+	msg Msg
+}
+
+// Send queues a unicast message to neighbor `to`.
+func (o *Outbox) Send(to int32, m Msg) {
+	m.From = o.node
+	o.msgs = append(o.msgs, addressed{to: to, msg: m})
+}
+
+// Broadcast queues m on every incident edge.
+func (o *Outbox) Broadcast(m Msg) {
+	m.From = o.node
+	o.bcast = append(o.bcast, m)
+}
+
+func (o *Outbox) reset(node int32, neighbors []int32) {
+	o.node = node
+	o.neighbors = neighbors
+	o.msgs = o.msgs[:0]
+	o.bcast = o.bcast[:0]
+}
+
+// Result reports the measured complexity of one engine run.
+type Result struct {
+	Rounds      int     // total rounds executed (time complexity)
+	Awake       []int32 // awake rounds per node (energy complexity is max)
+	MsgsSent    int64   // messages put on edges by awake senders
+	MsgsDropped int64   // messages whose receiver was asleep
+	BitsTotal   int64   // sum of declared message sizes
+	BitsMax     int     // largest single message
+	Violations  int64   // messages exceeding the CONGEST budget B
+}
+
+// MaxAwake returns the energy complexity (max awake rounds over nodes).
+func (r *Result) MaxAwake() int {
+	m := int32(0)
+	for _, a := range r.Awake {
+		if a > m {
+			m = a
+		}
+	}
+	return int(m)
+}
+
+// AvgAwake returns the node-averaged awake rounds.
+func (r *Result) AvgAwake() float64 {
+	if len(r.Awake) == 0 {
+		return 0
+	}
+	var s int64
+	for _, a := range r.Awake {
+		s += int64(a)
+	}
+	return float64(s) / float64(len(r.Awake))
+}
+
+// Config controls an engine run.
+type Config struct {
+	Seed      uint64
+	MaxRounds int  // safety cap; 0 means a generous default
+	B         int  // CONGEST budget in bits; 0 means 4*ceil(log2 N) (min 16)
+	Workers   int  // >1 enables the parallel executor with that many workers
+	Strict    bool // panic on CONGEST violations instead of counting them
+}
+
+// DefaultB returns the default CONGEST budget for an n-node network.
+func DefaultB(n int) int {
+	b := 4 * log2Ceil(n)
+	if b < 16 {
+		b = 16
+	}
+	return b
+}
+
+func log2Ceil(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return int(math.Ceil(math.Log2(float64(n))))
+}
+
+// Run executes machines on g until no node is scheduled to wake, and
+// returns the measured Result. machines[v] is node v's automaton; len must
+// equal g.N(). An error is returned only if the MaxRounds cap is hit or a
+// machine misbehaves (returns a non-increasing wake round).
+func Run(g *graph.Graph, machines []Machine, cfg Config) (*Result, error) {
+	n := g.N()
+	if len(machines) != n {
+		return nil, fmt.Errorf("sim: %d machines for %d nodes", len(machines), n)
+	}
+	if cfg.B == 0 {
+		cfg.B = DefaultB(n)
+	}
+	if cfg.MaxRounds == 0 {
+		cfg.MaxRounds = 1 << 22
+	}
+	e := &engine{g: g, machines: machines, cfg: cfg}
+	return e.run()
+}
+
+type engine struct {
+	g        *graph.Graph
+	machines []Machine
+	cfg      Config
+
+	buckets    map[int][]int32 // wake round -> nodes
+	awakeStamp []int64         // node -> last round awake (+1), 0 = never
+	inboxes    [][]Msg
+	outboxes   []Outbox
+	res        Result
+}
+
+func (e *engine) schedule(v int32, round int) error {
+	if round == Never {
+		return nil
+	}
+	if round < 0 {
+		return fmt.Errorf("sim: node %d scheduled invalid round %d", v, round)
+	}
+	e.buckets[round] = append(e.buckets[round], v)
+	return nil
+}
+
+func (e *engine) run() (*Result, error) {
+	n := e.g.N()
+	e.buckets = make(map[int][]int32)
+	e.awakeStamp = make([]int64, n)
+	e.inboxes = make([][]Msg, n)
+	e.outboxes = make([]Outbox, n)
+	e.res.Awake = make([]int32, n)
+
+	for v := 0; v < n; v++ {
+		env := &Env{
+			Node:      v,
+			N:         n,
+			Degree:    e.g.Degree(v),
+			Neighbors: e.g.Neighbors(v),
+			B:         e.cfg.B,
+			Rand:      rng.NewForNode(e.cfg.Seed, v),
+		}
+		first := e.machines[v].Init(env)
+		if err := e.schedule(int32(v), first); err != nil {
+			return nil, err
+		}
+	}
+
+	round := 0
+	for len(e.buckets) > 0 {
+		awake, ok := e.buckets[round]
+		if !ok {
+			// Jump to the next scheduled round (nodes sleep in between;
+			// those rounds still elapse on the wall clock).
+			next := math.MaxInt
+			for r := range e.buckets {
+				if r < next {
+					next = r
+				}
+			}
+			round = next
+			awake = e.buckets[round]
+		}
+		delete(e.buckets, round)
+		if round >= e.cfg.MaxRounds {
+			return nil, fmt.Errorf("sim: exceeded MaxRounds=%d", e.cfg.MaxRounds)
+		}
+		sort.Slice(awake, func(i, j int) bool { return awake[i] < awake[j] })
+		// Deduplicate: a node must not be double-scheduled, but be tolerant
+		// of identical entries.
+		awake = dedupSorted(awake)
+
+		stamp := int64(round) + 1
+		for _, v := range awake {
+			e.awakeStamp[v] = stamp
+			e.res.Awake[v]++
+		}
+
+		// Phase 1: compose.
+		if e.cfg.Workers > 1 {
+			e.composeParallel(awake, round)
+		} else {
+			for _, v := range awake {
+				ob := &e.outboxes[v]
+				ob.reset(v, e.g.Neighbors(int(v)))
+				e.machines[v].Compose(round, ob)
+			}
+		}
+
+		// Phase 2: route (sequential, in sender order, so inboxes are
+		// sorted by sender and runs are deterministic).
+		for _, v := range awake {
+			ob := &e.outboxes[v]
+			for _, m := range ob.bcast {
+				// A broadcast occupies every incident edge: one CONGEST
+				// message per neighbor.
+				for _, u := range ob.neighbors {
+					e.accountMsg(m)
+					e.deliverTo(u, m, stamp)
+				}
+			}
+			for _, am := range ob.msgs {
+				e.accountMsg(am.msg)
+				e.deliverTo(am.to, am.msg, stamp)
+			}
+		}
+
+		// Phase 3: deliver and reschedule.
+		if e.cfg.Workers > 1 {
+			if err := e.deliverParallel(awake, round); err != nil {
+				return nil, err
+			}
+		} else {
+			for _, v := range awake {
+				next := e.machines[v].Deliver(round, e.inboxes[v])
+				e.inboxes[v] = e.inboxes[v][:0]
+				if next != Never && next <= round {
+					return nil, fmt.Errorf("sim: node %d returned wake round %d <= current %d", v, next, round)
+				}
+				if err := e.schedule(v, next); err != nil {
+					return nil, err
+				}
+			}
+		}
+		e.res.Rounds = round + 1
+		round++
+	}
+	return &e.res, nil
+}
+
+func (e *engine) accountMsg(m Msg) {
+	e.res.MsgsSent++
+	e.res.BitsTotal += int64(m.Bits)
+	if int(m.Bits) > e.res.BitsMax {
+		e.res.BitsMax = int(m.Bits)
+	}
+	if int(m.Bits) > e.cfg.B {
+		if e.cfg.Strict {
+			panic(fmt.Sprintf("sim: message of %d bits exceeds CONGEST budget %d", m.Bits, e.cfg.B))
+		}
+		e.res.Violations++
+	}
+}
+
+func (e *engine) deliverTo(u int32, m Msg, stamp int64) {
+	if e.awakeStamp[u] == stamp {
+		e.inboxes[u] = append(e.inboxes[u], m)
+	} else {
+		e.res.MsgsDropped++
+	}
+}
+
+func dedupSorted(s []int32) []int32 {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+// Package verify checks the outputs of MIS algorithms and extracts
+// residual graphs between phases.
+//
+// An independent set is a node set with no internal edges; it is maximal
+// when every node outside the set has a neighbor inside. The phase
+// composition of the paper also needs the *residual* graph: the subgraph
+// induced by nodes that are neither in the computed set nor adjacent to it.
+package verify
+
+import (
+	"fmt"
+
+	"github.com/energymis/energymis/internal/graph"
+)
+
+// IsIndependent reports whether inSet (indexed by node) is an independent
+// set of g, returning a witness edge when it is not.
+func IsIndependent(g *graph.Graph, inSet []bool) (ok bool, u, v int) {
+	for x := 0; x < g.N(); x++ {
+		if !inSet[x] {
+			continue
+		}
+		for _, y := range g.Neighbors(x) {
+			if inSet[y] {
+				return false, x, int(y)
+			}
+		}
+	}
+	return true, -1, -1
+}
+
+// IsMaximal reports whether inSet is maximal in g (every non-member has a
+// member neighbor), returning a witness uncovered node when it is not.
+// It does not check independence; use Check for both.
+func IsMaximal(g *graph.Graph, inSet []bool) (ok bool, uncovered int) {
+	for x := 0; x < g.N(); x++ {
+		if inSet[x] {
+			continue
+		}
+		covered := false
+		for _, y := range g.Neighbors(x) {
+			if inSet[y] {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			return false, x
+		}
+	}
+	return true, -1
+}
+
+// Check validates that inSet is a maximal independent set of g.
+func Check(g *graph.Graph, inSet []bool) error {
+	if len(inSet) != g.N() {
+		return fmt.Errorf("verify: set length %d != n %d", len(inSet), g.N())
+	}
+	if ok, u, v := IsIndependent(g, inSet); !ok {
+		return fmt.Errorf("verify: not independent: edge (%d,%d) inside set", u, v)
+	}
+	if ok, u := IsMaximal(g, inSet); !ok {
+		return fmt.Errorf("verify: not maximal: node %d uncovered", u)
+	}
+	return nil
+}
+
+// Residual returns the nodes of g that are neither in inSet nor adjacent
+// to a member — the nodes later phases must still decide.
+func Residual(g *graph.Graph, inSet []bool) []int {
+	removed := make([]bool, g.N())
+	for v := 0; v < g.N(); v++ {
+		if inSet[v] {
+			removed[v] = true
+			for _, u := range g.Neighbors(v) {
+				removed[u] = true
+			}
+		}
+	}
+	var rest []int
+	for v := 0; v < g.N(); v++ {
+		if !removed[v] {
+			rest = append(rest, v)
+		}
+	}
+	return rest
+}
+
+// ResidualSubgraph extracts the induced residual subgraph after removing
+// inSet and its neighborhood.
+func ResidualSubgraph(g *graph.Graph, inSet []bool) *graph.Subgraph {
+	return graph.InducedSubgraph(g, Residual(g, inSet))
+}
+
+// GreedyMIS computes a maximal independent set sequentially (by increasing
+// node index). It is the reference oracle for tests and the sequential
+// baseline for benchmarks.
+func GreedyMIS(g *graph.Graph) []bool {
+	inSet := make([]bool, g.N())
+	blocked := make([]bool, g.N())
+	for v := 0; v < g.N(); v++ {
+		if blocked[v] {
+			continue
+		}
+		inSet[v] = true
+		for _, u := range g.Neighbors(v) {
+			blocked[u] = true
+		}
+	}
+	return inSet
+}
+
+// Count returns the number of set members.
+func Count(inSet []bool) int {
+	c := 0
+	for _, b := range inSet {
+		if b {
+			c++
+		}
+	}
+	return c
+}
+
+// Union returns a new set that is the union of the two (equal-length) sets.
+func Union(a, b []bool) []bool {
+	if len(a) != len(b) {
+		panic("verify: Union length mismatch")
+	}
+	out := make([]bool, len(a))
+	for i := range a {
+		out[i] = a[i] || b[i]
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package verify
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/energymis/energymis/internal/graph"
+)
+
+func TestIndependent(t *testing.T) {
+	g := graph.Path(4) // 0-1-2-3
+	ok, _, _ := IsIndependent(g, []bool{true, false, true, false})
+	if !ok {
+		t.Fatal("alternating set on path should be independent")
+	}
+	ok, u, v := IsIndependent(g, []bool{true, true, false, false})
+	if ok {
+		t.Fatal("adjacent pair reported independent")
+	}
+	if (u != 0 || v != 1) && (u != 1 || v != 0) {
+		t.Fatalf("wrong witness (%d,%d)", u, v)
+	}
+}
+
+func TestMaximal(t *testing.T) {
+	g := graph.Path(4)
+	if ok, _ := IsMaximal(g, []bool{true, false, true, false}); !ok {
+		t.Fatal("{0,2} should be maximal on P4")
+	}
+	ok, w := IsMaximal(g, []bool{true, false, false, false})
+	if ok {
+		t.Fatal("{0} reported maximal on P4")
+	}
+	if w != 2 && w != 3 {
+		t.Fatalf("wrong uncovered witness %d", w)
+	}
+}
+
+func TestCheck(t *testing.T) {
+	g := graph.Cycle(5)
+	if err := Check(g, []bool{true, false, true, false, false}); err != nil {
+		t.Fatalf("valid MIS rejected: %v", err)
+	}
+	if err := Check(g, []bool{true, true, false, false, false}); err == nil {
+		t.Fatal("dependent set accepted")
+	}
+	if err := Check(g, []bool{true, false, false, false, false}); err == nil {
+		t.Fatal("non-maximal set accepted")
+	}
+	if err := Check(g, []bool{true}); err == nil {
+		t.Fatal("wrong-length set accepted")
+	}
+}
+
+func TestResidual(t *testing.T) {
+	g := graph.Path(5) // 0-1-2-3-4
+	rest := Residual(g, []bool{true, false, false, false, false})
+	// 0 in set, 1 removed as neighbor; 2,3,4 remain.
+	if len(rest) != 3 || rest[0] != 2 || rest[2] != 4 {
+		t.Fatalf("residual = %v", rest)
+	}
+	sub := ResidualSubgraph(g, []bool{true, false, false, false, false})
+	if sub.N() != 3 || sub.M() != 2 {
+		t.Fatalf("residual subgraph n=%d m=%d", sub.N(), sub.M())
+	}
+}
+
+func TestResidualEmptyForMIS(t *testing.T) {
+	g := graph.GNP(200, 0.05, 1)
+	mis := GreedyMIS(g)
+	if rest := Residual(g, mis); len(rest) != 0 {
+		t.Fatalf("MIS left residual %v", rest)
+	}
+}
+
+func TestGreedyMISIsValid(t *testing.T) {
+	gens := []*graph.Graph{
+		graph.GNP(300, 0.02, 2),
+		graph.Complete(30),
+		graph.Star(50),
+		graph.Cycle(101),
+		graph.RandomTree(200, 3),
+		graph.NewBuilder(10).Build(), // edgeless: everyone joins
+	}
+	for i, g := range gens {
+		if err := Check(g, GreedyMIS(g)); err != nil {
+			t.Errorf("graph %d: %v", i, err)
+		}
+	}
+	if got := Count(GreedyMIS(graph.NewBuilder(10).Build())); got != 10 {
+		t.Fatalf("edgeless MIS size = %d", got)
+	}
+	if got := Count(GreedyMIS(graph.Complete(30))); got != 1 {
+		t.Fatalf("clique MIS size = %d", got)
+	}
+}
+
+// Property: greedy MIS on random graphs is always maximal independent,
+// and residual of any independent set never contains a set member.
+func TestGreedyProperty(t *testing.T) {
+	f := func(nRaw uint8, seed uint64) bool {
+		n := int(nRaw%100) + 1
+		g := graph.GNP(n, 0.1, seed)
+		mis := GreedyMIS(g)
+		return Check(g, mis) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnion(t *testing.T) {
+	u := Union([]bool{true, false, false}, []bool{false, false, true})
+	if !u[0] || u[1] || !u[2] {
+		t.Fatalf("union = %v", u)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	Union([]bool{true}, []bool{})
+}
