@@ -1,15 +1,18 @@
 // Command mislab runs one MIS algorithm on one generated graph and prints
 // the measured complexities, the per-phase breakdown, and the structural
-// diagnostics.
+// diagnostics. With -dynamic it instead maintains the MIS under an update
+// stream and reports the localized-repair cost.
 //
 // Usage:
 //
 //	mislab -algo algorithm1 -graph gnp -n 10000 -deg 8 -seed 1
 //	mislab -algo all -graph rgg -n 20000 -deg 12
+//	mislab -dynamic -stream churn -updates 1000 -n 10000
+//	mislab -dynamic -stream hub -graph ba -n 5000
 //
 // Graphs: gnp, rgg, ba, grid, tree, reg, clique, star, path, cliquechain.
 // Algorithms: luby, algorithm1, algorithm2, algorithm1-avg,
-// algorithm2-avg, or "all".
+// algorithm2-avg, or "all". Streams: churn, window, hub.
 package main
 
 import (
@@ -29,14 +32,18 @@ func main() {
 
 func run() error {
 	var (
-		algoName  = flag.String("algo", "algorithm1", "algorithm (or 'all')")
-		graphName = flag.String("graph", "gnp", "graph family")
-		n         = flag.Int("n", 10000, "number of nodes")
-		deg       = flag.Float64("deg", 8, "target average degree (density knob)")
-		seed      = flag.Uint64("seed", 1, "random seed (graph and run)")
-		workers   = flag.Int("workers", 0, "parallel executor width (0 = sequential)")
-		verify    = flag.Bool("verify", true, "verify the output is a maximal independent set")
-		phases    = flag.Bool("phases", true, "print the per-phase breakdown")
+		algoName   = flag.String("algo", "algorithm1", "algorithm (or 'all')")
+		graphName  = flag.String("graph", "gnp", "graph family")
+		n          = flag.Int("n", 10000, "number of nodes")
+		deg        = flag.Float64("deg", 8, "target average degree (density knob)")
+		seed       = flag.Uint64("seed", 1, "random seed (graph and run)")
+		workers    = flag.Int("workers", 0, "parallel executor width (0 = sequential)")
+		verify     = flag.Bool("verify", true, "verify the output is a maximal independent set")
+		phases     = flag.Bool("phases", true, "print the per-phase breakdown")
+		dyn        = flag.Bool("dynamic", false, "maintain the MIS under an update stream")
+		streamKind = flag.String("stream", "churn", "update stream: churn, window, hub")
+		updates    = flag.Int("updates", 1000, "update-stream length (with -dynamic)")
+		batch      = flag.Int("batch", 1, "updates per batch (with -dynamic, churn stream)")
 	)
 	flag.Parse()
 
@@ -46,6 +53,10 @@ func run() error {
 	}
 	fmt.Printf("graph %s: n=%d m=%d maxDeg=%d avgDeg=%.2f\n\n",
 		*graphName, g.N(), g.M(), g.MaxDegree(), g.AvgDegree())
+
+	if *dyn {
+		return runDynamic(g, *algoName, *streamKind, *updates, *batch, *seed, *workers, *verify)
+	}
 
 	algos, err := pickAlgos(*algoName)
 	if err != nil {

@@ -1,0 +1,120 @@
+package main
+
+// Dynamic-workload experiments (the repair engine of internal/dynamic):
+//
+//	D1 — repair vs. per-update recompute under uniform churn
+//	D2 — repair cost across stream classes (churn, window, hub attack)
+
+import (
+	"fmt"
+
+	energymis "github.com/energymis/energymis"
+)
+
+// replay applies a trace and returns the cumulative stats.
+func replay(d *energymis.DynamicMIS, trace [][]energymis.Update) (energymis.DynamicStats, error) {
+	for i, batch := range trace {
+		if _, err := d.Apply(batch); err != nil {
+			return energymis.DynamicStats{}, fmt.Errorf("batch %d: %w", i, err)
+		}
+		if err := d.Check(); err != nil {
+			return energymis.DynamicStats{}, fmt.Errorf("batch %d: %w", i, err)
+		}
+	}
+	return d.Stats(), nil
+}
+
+// D1: dynamic repair vs. re-running the static algorithm after each
+// update. Static cost is measured on sampled snapshots and extrapolated
+// over the whole stream.
+func runD1(c sweepConfig) error {
+	var rows [][]string
+	updates := 1000
+	for _, n := range []int{c.n(4000), c.n(10000)} {
+		g := energymis.GNP(n, 8.0/float64(n), uint64(n))
+		d, err := energymis.NewDynamic(g, energymis.Luby, energymis.DynamicOptions{Seed: 1})
+		if err != nil {
+			return err
+		}
+		trace := energymis.ChurnStream(g, updates, 1, uint64(n))
+		var staticAwake int64
+		samples := 0
+		for i, batch := range trace {
+			if _, err := d.Apply(batch); err != nil {
+				return err
+			}
+			if err := d.Check(); err != nil {
+				return fmt.Errorf("D1: update %d: %w", i, err)
+			}
+			if i%100 == 99 {
+				snap, _, _ := d.Snapshot()
+				res, err := energymis.Run(snap, energymis.Luby, energymis.Options{Seed: uint64(i)})
+				if err != nil {
+					return err
+				}
+				for _, a := range res.AwakePerNode {
+					staticAwake += a
+				}
+				samples++
+			}
+		}
+		st := d.Stats()
+		perUpdate := float64(st.AwakeTotal) / float64(st.Updates)
+		staticPer := float64(staticAwake) / float64(samples)
+		rows = append(rows, []string{
+			i0(n), i0(int(st.Updates)), f2(perUpdate), f2(staticPer),
+			f2(staticPer / perUpdate),
+			f2(float64(st.WokenTotal) / float64(st.Updates)), i0(st.MaxRegion),
+		})
+	}
+	table([]string{"n", "updates", "awake/update (repair)", "awake/update (recompute)",
+		"saving x", "woken/update", "max region"}, rows)
+	fmt.Println()
+	fmt.Println("(every intermediate set validated as a maximal independent set; " +
+		"recompute column sampled every 100 updates)")
+	return nil
+}
+
+// D2: repair cost across the three stream classes.
+func runD2(c sweepConfig) error {
+	n := c.n(5000)
+	var rows [][]string
+	type gen struct {
+		name  string
+		graph *energymis.Graph
+		trace func(g *energymis.Graph) [][]energymis.Update
+	}
+	gnp := energymis.GNP(n, 8.0/float64(n), 2)
+	ba := energymis.BarabasiAlbert(n, 4, 2)
+	empty := energymis.NewBuilder(n).Build()
+	gens := []gen{
+		{"uniform-churn", gnp, func(g *energymis.Graph) [][]energymis.Update {
+			return energymis.ChurnStream(g, 500, 1, 3)
+		}},
+		{"sliding-window", empty, func(g *energymis.Graph) [][]energymis.Update {
+			return energymis.WindowStream(n, 4*n, 500, 3)
+		}},
+		{"hub-attack", ba, func(g *energymis.Graph) [][]energymis.Update {
+			return energymis.HubAttackStream(g, 100, 3)
+		}},
+	}
+	for _, gn := range gens {
+		d, err := energymis.NewDynamic(gn.graph, energymis.Luby, energymis.DynamicOptions{Seed: 4})
+		if err != nil {
+			return err
+		}
+		st, err := replay(d, gn.trace(gn.graph))
+		if err != nil {
+			return fmt.Errorf("D2 %s: %w", gn.name, err)
+		}
+		rows = append(rows, []string{
+			gn.name, i0(int(st.Updates)), i0(int(st.Batches)),
+			f2(float64(st.AwakeTotal) / float64(st.Updates)),
+			f2(float64(st.Messages) / float64(st.Updates)),
+			i0(st.MaxRegion), i0(int(st.Evictions)), i0(int(st.Joins)),
+		})
+	}
+	table([]string{"stream", "updates", "batches", "awake/update", "msgs/update",
+		"max region", "evictions", "joins"}, rows)
+	return nil
+}

@@ -1,11 +1,12 @@
 // Command sweep regenerates the paper-reproduction experiments (E1–E10 of
-// DESIGN.md) and the ablations (A1–A4), printing each as a markdown table.
-// EXPERIMENTS.md is the archived output of `sweep -e all`.
+// DESIGN.md), the ablations (A1–A4), and the dynamic-MIS experiments
+// (D1–D2), printing each as a markdown table. EXPERIMENTS.md is the
+// archived output of `sweep -e all`.
 //
 // Usage:
 //
 //	sweep -e all
-//	sweep -e E1,E4,E9 -seeds 3 -scale 1
+//	sweep -e E1,E4,E9,D1 -seeds 3 -scale 1
 //
 // -scale shrinks the instance sizes (0.25, 0.5, 1) to trade fidelity for
 // runtime.
@@ -20,7 +21,7 @@ import (
 
 func main() {
 	var (
-		expts = flag.String("e", "all", "comma-separated experiment IDs (E1..E10, A1..A4, all)")
+		expts = flag.String("e", "all", "comma-separated experiment IDs (E1..E10, A1..A4, D1..D2, all)")
 		seeds = flag.Int("seeds", 3, "seeds per configuration")
 		scale = flag.Float64("scale", 1, "instance-size multiplier")
 	)
@@ -41,6 +42,8 @@ func main() {
 		{"A2", "Ablation: finisher executions K = 1 vs Θ(log n)", runA2},
 		{"A3", "Ablation: indegree threshold in Lemma 2.8", runA3},
 		{"A4", "Ablation: CV coloring depth vs Linial palette trajectory", runA4},
+		{"D1", "Dynamic MIS: localized repair vs per-update recompute", runD1},
+		{"D2", "Dynamic MIS: repair cost across update-stream classes", runD2},
 	}
 
 	want := map[string]bool{}
@@ -64,7 +67,7 @@ func main() {
 		ran++
 	}
 	if ran == 0 {
-		fmt.Fprintln(os.Stderr, "no experiments matched; use -e all or E1..E10, A1..A4")
+		fmt.Fprintln(os.Stderr, "no experiments matched; use -e all or E1..E10, A1..A4, D1..D2")
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,215 @@
+package energymis
+
+import (
+	"fmt"
+
+	"github.com/energymis/energymis/internal/core"
+	"github.com/energymis/energymis/internal/dynamic"
+	"github.com/energymis/energymis/internal/stream"
+)
+
+// Update is one topology change for a DynamicMIS. Build updates with
+// InsEdge/DelEdge/InsNode/DelNode and apply them with Apply (batched) or
+// the per-update convenience methods.
+type Update = dynamic.Update
+
+// UpdateOp identifies the kind of an Update.
+type UpdateOp = dynamic.Op
+
+// Update operations.
+const (
+	OpInsertEdge = dynamic.OpInsertEdge
+	OpRemoveEdge = dynamic.OpRemoveEdge
+	OpInsertNode = dynamic.OpInsertNode
+	OpRemoveNode = dynamic.OpRemoveNode
+)
+
+// InsEdge returns an edge-insertion update.
+func InsEdge(u, v int) Update { return dynamic.InsEdge(u, v) }
+
+// DelEdge returns an edge-removal update.
+func DelEdge(u, v int) Update { return dynamic.DelEdge(u, v) }
+
+// InsNode returns a node-insertion update; the node is assigned the next
+// slot index when applied.
+func InsNode(neighbors ...int) Update { return dynamic.InsNode(neighbors...) }
+
+// DelNode returns a node-removal update.
+func DelNode(v int) Update { return dynamic.DelNode(v) }
+
+// RepairAlgo selects the localized re-election protocol used by repairs.
+type RepairAlgo = dynamic.RepairAlgo
+
+// Repair protocols.
+const (
+	// RepairLuby re-elects with Luby's algorithm on the affected region.
+	RepairLuby = dynamic.RepairLuby
+	// RepairGhaffari uses the desire-level dynamics with a Luby finisher.
+	RepairGhaffari = dynamic.RepairGhaffari
+)
+
+// BatchStats is the measured cost of one update batch.
+type BatchStats = dynamic.BatchStats
+
+// DynamicStats is the cumulative cost of a DynamicMIS lifetime.
+type DynamicStats = dynamic.Stats
+
+// DynamicOptions configures a DynamicMIS. The zero value is valid: seed 0,
+// Luby repairs, sequential execution, default CONGEST budget.
+type DynamicOptions struct {
+	// Seed drives the bootstrap run and all repair randomness.
+	Seed uint64
+	// Workers > 1 runs bootstrap and re-elections on a worker pool.
+	Workers int
+	// B overrides the CONGEST budget in bits (0 = default).
+	B int
+	// Repair selects the re-election protocol (default RepairLuby).
+	Repair RepairAlgo
+	// SelfCheck validates the MIS invariant after every batch (O(n+m);
+	// meant for tests).
+	SelfCheck bool
+}
+
+// DynamicMIS maintains a maximal independent set under edge and node
+// churn. An update wakes only the nodes in the 1–2 hop neighborhood of
+// the change and repairs the set with a localized re-election, instead of
+// re-running a static algorithm on the whole network; rounds, per-node
+// awake rounds, and messages are accounted with the same semantics as
+// static runs.
+type DynamicMIS struct {
+	eng  *dynamic.Engine
+	algo Algorithm
+}
+
+// NewDynamic bootstraps a dynamic MIS on g by running the static algorithm
+// algo, then maintains the set under updates. The bootstrap cost is
+// recorded in DynamicStats' Bootstrap fields.
+func NewDynamic(g *Graph, algo Algorithm, opts DynamicOptions) (*DynamicMIS, error) {
+	ca := algo.toCore()
+	if ca == 0 {
+		return nil, fmt.Errorf("energymis: unknown algorithm %d", int(algo))
+	}
+	copts := core.DefaultOptions()
+	copts.Seed = opts.Seed
+	copts.Workers = opts.Workers
+	copts.B = opts.B
+	res, err := core.Run(g, ca, copts)
+	if err != nil {
+		return nil, fmt.Errorf("energymis: dynamic bootstrap: %w", err)
+	}
+	eng, err := dynamic.New(g, res.InSet, dynamic.Params{
+		Seed:      opts.Seed,
+		Repair:    opts.Repair,
+		B:         opts.B,
+		Workers:   opts.Workers,
+		SelfCheck: opts.SelfCheck,
+	})
+	if err != nil {
+		return nil, err
+	}
+	eng.NoteBootstrap(res.Summary.Rounds, res.AwakePerNode, res.Summary.MsgsSent)
+	return &DynamicMIS{eng: eng, algo: algo}, nil
+}
+
+// Algorithm returns the static algorithm used for the bootstrap.
+func (d *DynamicMIS) Algorithm() Algorithm { return d.algo }
+
+// InsertEdge inserts the edge {u, v} and repairs the set.
+func (d *DynamicMIS) InsertEdge(u, v int) (BatchStats, error) { return d.eng.InsertEdge(u, v) }
+
+// RemoveEdge removes the edge {u, v} and repairs the set.
+func (d *DynamicMIS) RemoveEdge(u, v int) (BatchStats, error) { return d.eng.RemoveEdge(u, v) }
+
+// InsertNode adds a node adjacent to neighbors and returns its slot index.
+func (d *DynamicMIS) InsertNode(neighbors ...int) (int, BatchStats, error) {
+	return d.eng.InsertNode(neighbors...)
+}
+
+// RemoveNode deletes node v and all its incident edges.
+func (d *DynamicMIS) RemoveNode(v int) (BatchStats, error) { return d.eng.RemoveNode(v) }
+
+// Apply applies a batch of updates atomically with a single repair pass;
+// overlapping affected regions are re-elected together.
+func (d *DynamicMIS) Apply(batch []Update) (BatchStats, error) { return d.eng.Apply(batch) }
+
+// InSet returns a copy of the membership vector indexed by slot; dead
+// slots are false.
+func (d *DynamicMIS) InSet() []bool { return d.eng.InSet() }
+
+// InMIS reports whether node v is currently in the maintained set.
+func (d *DynamicMIS) InMIS(v int) bool { return d.eng.InMIS(v) }
+
+// MISSize returns the current number of members.
+func (d *DynamicMIS) MISSize() int {
+	n := 0
+	for _, in := range d.eng.InSet() {
+		if in {
+			n++
+		}
+	}
+	return n
+}
+
+// N returns the number of node slots (alive and dead).
+func (d *DynamicMIS) N() int { return d.eng.N() }
+
+// AliveCount returns the number of live nodes.
+func (d *DynamicMIS) AliveCount() int { return d.eng.AliveCount() }
+
+// M returns the current number of edges.
+func (d *DynamicMIS) M() int { return d.eng.M() }
+
+// Alive reports whether slot v holds a live node.
+func (d *DynamicMIS) Alive(v int) bool { return d.eng.Alive(v) }
+
+// Degree returns the current degree of node v.
+func (d *DynamicMIS) Degree(v int) int { return d.eng.Degree(v) }
+
+// HasEdge reports whether {u, v} is currently an edge.
+func (d *DynamicMIS) HasEdge(u, v int) bool { return d.eng.HasEdge(u, v) }
+
+// Snapshot builds an immutable compacted graph of the live topology, the
+// mapping from snapshot index to slot, and the membership vector aligned
+// with the snapshot indexing.
+func (d *DynamicMIS) Snapshot() (*Graph, []int, []bool) {
+	g, orig := d.eng.Snapshot()
+	ids := make([]int, len(orig))
+	for i, v := range orig {
+		ids[i] = int(v)
+	}
+	return g, ids, d.eng.SnapshotSet(orig)
+}
+
+// Stats returns the cumulative lifetime statistics.
+func (d *DynamicMIS) Stats() DynamicStats { return d.eng.Stats() }
+
+// AwakePerNode returns cumulative per-slot awake rounds (bootstrap plus
+// all repairs) — the per-node energy spend.
+func (d *DynamicMIS) AwakePerNode() []int64 { return d.eng.AwakePerNode() }
+
+// Check validates that the maintained set is a maximal independent set of
+// the current topology.
+func (d *DynamicMIS) Check() error { return d.eng.Check() }
+
+// Update-stream generators: deterministic workload traces for DynamicMIS.
+
+// ChurnStream emits steps batches of `batch` uniform edge toggles each,
+// starting from g's topology (insert when absent, remove when present).
+func ChurnStream(g *Graph, steps, batch int, seed uint64) [][]Update {
+	return stream.UniformChurn(g, steps, batch, seed)
+}
+
+// WindowStream emits steps batches over an n-node universe where one
+// random edge arrives per step and expires after window steps.
+func WindowStream(n, window, steps int, seed uint64) [][]Update {
+	return stream.SlidingWindow(n, window, steps, seed)
+}
+
+// HubAttackStream emits steps adversarial batches that repeatedly kill and
+// reintroduce the current maximum-degree node, maximizing repair regions.
+func HubAttackStream(g *Graph, steps int, seed uint64) [][]Update {
+	return stream.HubAttack(g, steps, seed)
+}
+
+// StreamUpdates counts the individual updates in a trace.
+func StreamUpdates(trace [][]Update) int { return stream.Updates(trace) }

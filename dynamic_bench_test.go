@@ -1,0 +1,90 @@
+package energymis
+
+// Dynamic-workload benchmarks (experiment D1/D2 of cmd/sweep): repair cost
+// under churn vs. re-running the static algorithm after every update. The
+// headline metric is awake/update — total node-awake-rounds per update —
+// which is where the sleeping model's locality pays off.
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchChurn(b *testing.B, n, updates int, repair RepairAlgo) {
+	g := GNP(n, 8.0/float64(n), uint64(n))
+	trace := ChurnStream(g, updates, 1, 7)
+	var st DynamicStats
+	for i := 0; i < b.N; i++ {
+		d, err := NewDynamic(g, Luby, DynamicOptions{Seed: uint64(i) + 1, Repair: repair})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, batch := range trace {
+			if _, err := d.Apply(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+		st = d.Stats()
+	}
+	up := float64(st.Updates)
+	b.ReportMetric(float64(st.AwakeTotal)/up, "awake/update")
+	b.ReportMetric(float64(st.WokenTotal)/up, "woken/update")
+	b.ReportMetric(float64(st.Messages)/up, "msgs/update")
+	b.ReportMetric(float64(st.MaxRegion), "maxRegion")
+}
+
+// BenchmarkDynamicChurn measures localized repair under uniform churn.
+func BenchmarkDynamicChurn(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		for _, repair := range []RepairAlgo{RepairLuby, RepairGhaffari} {
+			b.Run(fmt.Sprintf("n=%d/repair=%v", n, repair), func(b *testing.B) {
+				benchChurn(b, n, 200, repair)
+			})
+		}
+	}
+}
+
+// BenchmarkStaticRecompute measures the alternative the repair engine
+// replaces: a full static run per update (one run per iteration; its
+// awake/update is the per-update cost of recomputing from scratch).
+func BenchmarkStaticRecompute(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g := GNP(n, 8.0/float64(n), uint64(n))
+			var awake int64
+			for i := 0; i < b.N; i++ {
+				res, err := Run(g, Luby, Options{Seed: uint64(i) + 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				awake = 0
+				for _, a := range res.AwakePerNode {
+					awake += a
+				}
+			}
+			b.ReportMetric(float64(awake), "awake/update")
+		})
+	}
+}
+
+// BenchmarkDynamicHubAttack measures repair under the adversarial stream.
+func BenchmarkDynamicHubAttack(b *testing.B) {
+	g := BarabasiAlbert(5000, 4, 3)
+	trace := HubAttackStream(g, 100, 5)
+	var st DynamicStats
+	for i := 0; i < b.N; i++ {
+		d, err := NewDynamic(g, Luby, DynamicOptions{Seed: uint64(i) + 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, batch := range trace {
+			if _, err := d.Apply(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+		st = d.Stats()
+	}
+	b.ReportMetric(float64(st.AwakeTotal)/float64(st.Batches), "awake/batch")
+	b.ReportMetric(float64(st.MaxRegion), "maxRegion")
+	b.ReportMetric(float64(st.Evictions), "evictions")
+}

@@ -1,0 +1,3 @@
+module github.com/energymis/energymis
+
+go 1.22

@@ -1,0 +1,538 @@
+// Package dynamic maintains a maximal independent set under graph churn,
+// extending the paper's sleeping model to a dynamic workload: when an edge
+// or node is inserted or removed, only the nodes in the 1–2 hop
+// neighborhood of the update wake up and repair the set, instead of the
+// whole network re-running a static algorithm.
+//
+// Model. The static algorithms assume nodes wake only by their own timers.
+// For dynamic updates we add the standard interrupt assumption of dynamic
+// distributed models (e.g. Chatterjee–Gmyr–Pandurangan, PODC 2020): the
+// adversary's topology change wakes the endpoints of the update, and a
+// node that changes its MIS status wakes its neighbors with a notification.
+// All other nodes keep sleeping. Energy is accounted exactly as in the
+// static runs — awake rounds per node — plus CONGEST messages.
+//
+// Repair. A batch of updates is applied structurally first; then
+//
+//  1. conflicts (an inserted edge with both endpoints in the set) are
+//     resolved by evicting the endpoint whose departure uncovers fewer
+//     nodes (lower degree, ties toward the higher ID);
+//  2. the uncovered region U — nodes left without a member neighbor,
+//     all within two hops of some update — is collected by local probes;
+//  3. a distributed re-election (Luby, or Ghaffari's desire-level dynamics
+//     with a Luby finisher) runs on the induced subgraph G[U] through the
+//     same sim engine as the static phases, so rounds, awake rounds and
+//     messages are measured with identical semantics.
+//
+// Correctness: eviction restores independence (only inserted edges can
+// violate it); U nodes have no member neighbors, so electing an MIS of
+// G[U] and adding it keeps independence and restores maximality. Every
+// woken node is within two hops of an update endpoint.
+package dynamic
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/energymis/energymis/internal/graph"
+	"github.com/energymis/energymis/internal/verify"
+)
+
+// Op identifies the kind of a topology update.
+type Op uint8
+
+// Update operations.
+const (
+	// OpInsertEdge inserts the undirected edge {U, V}. Inserting an
+	// existing edge is a no-op.
+	OpInsertEdge Op = iota + 1
+	// OpRemoveEdge removes the edge {U, V}. Removing a missing edge is a
+	// no-op.
+	OpRemoveEdge
+	// OpInsertNode creates a new node adjacent to Neighbors. The new node
+	// is assigned the next free slot index (Engine.N() at application
+	// time); U and V are ignored.
+	OpInsertNode
+	// OpRemoveNode deletes node U and all its incident edges.
+	OpRemoveNode
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpInsertEdge:
+		return "+edge"
+	case OpRemoveEdge:
+		return "-edge"
+	case OpInsertNode:
+		return "+node"
+	case OpRemoveNode:
+		return "-node"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Update is one topology change.
+type Update struct {
+	Op   Op
+	U, V int
+	// Neighbors lists the initial edges of an OpInsertNode update.
+	Neighbors []int
+}
+
+// InsEdge returns an edge-insertion update.
+func InsEdge(u, v int) Update { return Update{Op: OpInsertEdge, U: u, V: v} }
+
+// DelEdge returns an edge-removal update.
+func DelEdge(u, v int) Update { return Update{Op: OpRemoveEdge, U: u, V: v} }
+
+// InsNode returns a node-insertion update.
+func InsNode(neighbors ...int) Update { return Update{Op: OpInsertNode, Neighbors: neighbors} }
+
+// DelNode returns a node-removal update.
+func DelNode(v int) Update { return Update{Op: OpRemoveNode, U: v} }
+
+// RepairAlgo selects the localized re-election protocol.
+type RepairAlgo int
+
+// Repair protocols.
+const (
+	// RepairLuby re-elects with Luby's algorithm on the affected induced
+	// subgraph (the default: simple, always terminates).
+	RepairLuby RepairAlgo = iota + 1
+	// RepairGhaffari runs Ghaffari's desire-level dynamics for O(log |U|)
+	// rounds and finishes any stragglers with Luby — cheaper on large
+	// regions, matching the paper's shattering machinery.
+	RepairGhaffari
+)
+
+// String implements fmt.Stringer.
+func (a RepairAlgo) String() string {
+	switch a {
+	case RepairLuby:
+		return "luby"
+	case RepairGhaffari:
+		return "ghaffari"
+	default:
+		return fmt.Sprintf("RepairAlgo(%d)", int(a))
+	}
+}
+
+// Params configures the engine. The zero value is not valid; use
+// DefaultParams.
+type Params struct {
+	// Seed drives all repair randomness. Runs are deterministic in
+	// (initial graph, initial set, update sequence, Seed).
+	Seed uint64
+	// Repair selects the re-election protocol.
+	Repair RepairAlgo
+	// B overrides the CONGEST budget in bits (0 = 4·ceil(log2 n)).
+	B int
+	// Workers > 1 runs re-elections on the parallel executor.
+	Workers int
+	// MaxRetry bounds the Ghaffari retry loop before the Luby finisher
+	// takes over.
+	MaxRetry int
+	// SelfCheck validates the full MIS invariant after every batch
+	// (O(n+m); for tests).
+	SelfCheck bool
+}
+
+// DefaultParams returns the default engine configuration.
+func DefaultParams() Params {
+	return Params{Repair: RepairLuby, MaxRetry: 2}
+}
+
+// Engine maintains a maximal independent set of a mutable graph. Node
+// slots are dense integers; removed slots stay dead and are never reused,
+// and inserted nodes take the next slot index.
+type Engine struct {
+	p Params
+
+	adj        [][]int32 // sorted adjacency per slot; nil for dead slots
+	alive      []bool
+	aliveCount int
+	edges      int
+
+	inSet []bool
+	awake []int64 // cumulative awake rounds per slot (repair + bootstrap)
+
+	stats   Stats
+	batchNo uint64
+}
+
+// New wraps an existing valid MIS of g in a dynamic engine. The inSet
+// slice is copied. Use NoteBootstrap to credit the cost of computing the
+// initial set.
+func New(g *graph.Graph, inSet []bool, p Params) (*Engine, error) {
+	if err := verify.Check(g, inSet); err != nil {
+		return nil, fmt.Errorf("dynamic: initial set invalid: %w", err)
+	}
+	if p.Repair == 0 {
+		p.Repair = RepairLuby
+	}
+	if p.MaxRetry <= 0 {
+		p.MaxRetry = 2
+	}
+	n := g.N()
+	e := &Engine{
+		p:          p,
+		adj:        make([][]int32, n),
+		alive:      make([]bool, n),
+		aliveCount: n,
+		edges:      g.M(),
+		inSet:      make([]bool, n),
+		awake:      make([]int64, n),
+	}
+	copy(e.inSet, inSet)
+	for v := 0; v < n; v++ {
+		e.alive[v] = true
+		nb := g.Neighbors(v)
+		e.adj[v] = append(make([]int32, 0, len(nb)), nb...)
+	}
+	return e, nil
+}
+
+// NoteBootstrap credits the cost of the static run that produced the
+// initial set, so cumulative statistics cover the whole lifetime.
+func (e *Engine) NoteBootstrap(rounds int, awakePerNode []int64, messages int64) {
+	e.stats.BootstrapRounds = rounds
+	e.stats.BootstrapMessages = messages
+	for v, a := range awakePerNode {
+		if v < len(e.awake) {
+			e.awake[v] += a
+			e.stats.BootstrapAwake += a
+		}
+	}
+}
+
+// N returns the number of node slots (alive + dead).
+func (e *Engine) N() int { return len(e.adj) }
+
+// AliveCount returns the number of alive nodes.
+func (e *Engine) AliveCount() int { return e.aliveCount }
+
+// M returns the number of edges.
+func (e *Engine) M() int { return e.edges }
+
+// Alive reports whether slot v holds a live node.
+func (e *Engine) Alive(v int) bool { return v >= 0 && v < len(e.alive) && e.alive[v] }
+
+// InMIS reports whether node v is currently in the maintained set.
+func (e *Engine) InMIS(v int) bool { return v >= 0 && v < len(e.inSet) && e.inSet[v] }
+
+// InSet returns a copy of the membership vector, indexed by slot. Dead
+// slots are false.
+func (e *Engine) InSet() []bool {
+	out := make([]bool, len(e.inSet))
+	copy(out, e.inSet)
+	return out
+}
+
+// Degree returns the current degree of node v (0 for dead slots).
+func (e *Engine) Degree(v int) int { return len(e.adj[v]) }
+
+// Neighbors returns a copy of v's sorted adjacency list.
+func (e *Engine) Neighbors(v int) []int32 {
+	return append([]int32(nil), e.adj[v]...)
+}
+
+// HasEdge reports whether {u, v} is currently an edge.
+func (e *Engine) HasEdge(u, v int) bool {
+	if !e.Alive(u) || !e.Alive(v) {
+		return false
+	}
+	return containsSorted(e.adj[u], int32(v))
+}
+
+// AwakePerNode returns a copy of the cumulative per-slot awake rounds
+// (bootstrap plus all repairs).
+func (e *Engine) AwakePerNode() []int64 {
+	out := make([]int64, len(e.awake))
+	copy(out, e.awake)
+	return out
+}
+
+// Stats returns the cumulative statistics.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Snapshot builds an immutable compacted graph of the alive nodes. The
+// second return maps snapshot index i to the engine slot orig[i].
+func (e *Engine) Snapshot() (*graph.Graph, []int32) {
+	orig := make([]int32, 0, e.aliveCount)
+	local := make([]int32, len(e.adj))
+	for v := range e.adj {
+		if e.alive[v] {
+			local[v] = int32(len(orig))
+			orig = append(orig, int32(v))
+		}
+	}
+	b := graph.NewBuilder(len(orig))
+	for i, v := range orig {
+		for _, u := range e.adj[v] {
+			if u > v {
+				b.AddEdge(i, int(local[u]))
+			}
+		}
+	}
+	return b.Build(), orig
+}
+
+// SnapshotSet returns the membership vector aligned with Snapshot's
+// compacted node indexing.
+func (e *Engine) SnapshotSet(orig []int32) []bool {
+	out := make([]bool, len(orig))
+	for i, v := range orig {
+		out[i] = e.inSet[v]
+	}
+	return out
+}
+
+// Check validates the full maintained invariant: the current set is a
+// maximal independent set of the current graph and no dead slot is a
+// member. It scans the live adjacency directly — O(n+m), no allocation —
+// so it is cheap enough to run after every update in tests.
+func (e *Engine) Check() error {
+	for v := range e.adj {
+		if !e.alive[v] {
+			if e.inSet[v] {
+				return fmt.Errorf("dynamic: dead slot %d in set", v)
+			}
+			continue
+		}
+		if e.inSet[v] {
+			for _, u := range e.adj[v] {
+				if e.inSet[u] {
+					return fmt.Errorf("dynamic: not independent: edge (%d,%d) inside set", v, u)
+				}
+			}
+			continue
+		}
+		covered := false
+		for _, u := range e.adj[v] {
+			if e.inSet[u] {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			return fmt.Errorf("dynamic: not maximal: node %d uncovered", v)
+		}
+	}
+	return nil
+}
+
+// InsertEdge applies a single edge insertion and repairs the set.
+func (e *Engine) InsertEdge(u, v int) (BatchStats, error) {
+	return e.Apply([]Update{InsEdge(u, v)})
+}
+
+// RemoveEdge applies a single edge removal and repairs the set.
+func (e *Engine) RemoveEdge(u, v int) (BatchStats, error) {
+	return e.Apply([]Update{DelEdge(u, v)})
+}
+
+// InsertNode adds a node adjacent to neighbors, repairs the set, and
+// returns the new node's slot index.
+func (e *Engine) InsertNode(neighbors ...int) (int, BatchStats, error) {
+	id := len(e.adj)
+	bs, err := e.Apply([]Update{InsNode(neighbors...)})
+	return id, bs, err
+}
+
+// RemoveNode deletes node v and repairs the set.
+func (e *Engine) RemoveNode(v int) (BatchStats, error) {
+	return e.Apply([]Update{DelNode(v)})
+}
+
+// Apply applies a batch of updates atomically: all structural changes
+// first, then a single localized repair covering every affected region.
+// Batching amortizes the repair — overlapping regions are re-elected once.
+func (e *Engine) Apply(batch []Update) (BatchStats, error) {
+	st := &repairState{
+		dirty: make(map[int32]struct{}),
+		woken: make(map[int32]struct{}),
+	}
+	var bs BatchStats
+	applied := 0
+	var applyErr error
+	for i := range batch {
+		if err := e.applyStructural(&batch[i], st); err != nil {
+			// Repair the applied prefix below so the invariant holds even
+			// when the caller passed an invalid update.
+			applyErr = fmt.Errorf("dynamic: update %d (%s): %w", i, batch[i].Op, err)
+			break
+		}
+		applied++
+	}
+	bs.Updates = applied
+	if err := e.repair(st, &bs); err != nil {
+		return bs, err
+	}
+
+	// Accumulate even on a failed batch: the prefix's repair did run, and
+	// cumulative stats must stay consistent with AwakePerNode.
+	e.stats.Batches++
+	e.stats.Updates += int64(applied)
+	e.stats.Rounds += int64(bs.Rounds)
+	e.stats.AwakeTotal += bs.AwakeRounds
+	e.stats.Messages += bs.Messages
+	e.stats.WokenTotal += int64(bs.Woken)
+	e.stats.Evictions += int64(bs.Evictions)
+	e.stats.Joins += int64(bs.Joins)
+	if bs.Region > 0 {
+		e.stats.Elections++
+	}
+	if bs.Region > e.stats.MaxRegion {
+		e.stats.MaxRegion = bs.Region
+	}
+	e.batchNo++
+
+	if applyErr != nil {
+		return bs, applyErr
+	}
+	if e.p.SelfCheck {
+		if err := e.Check(); err != nil {
+			return bs, err
+		}
+	}
+	return bs, nil
+}
+
+// repairState accumulates the affected region while a batch is applied.
+type repairState struct {
+	// dirty nodes need a coverage/conflict check during repair.
+	dirty map[int32]struct{}
+	// woken nodes are charged one detection awake round.
+	woken map[int32]struct{}
+}
+
+func (st *repairState) markDirty(v int32) { st.dirty[v] = struct{}{} }
+func (st *repairState) wake(v int32)      { st.woken[v] = struct{}{} }
+
+func (e *Engine) applyStructural(up *Update, st *repairState) error {
+	switch up.Op {
+	case OpInsertEdge, OpRemoveEdge:
+		u, v := up.U, up.V
+		if u == v {
+			return fmt.Errorf("self-loop at %d", u)
+		}
+		if !e.Alive(u) || !e.Alive(v) {
+			return fmt.Errorf("endpoint of (%d,%d) dead or out of range", u, v)
+		}
+		if up.Op == OpInsertEdge {
+			var added bool
+			e.adj[u], added = insertSorted(e.adj[u], int32(v))
+			if !added {
+				return nil // edge already present: nothing happened
+			}
+			e.adj[v], _ = insertSorted(e.adj[v], int32(u))
+			e.edges++
+		} else {
+			var removed bool
+			e.adj[u], removed = removeSorted(e.adj[u], int32(v))
+			if !removed {
+				return nil
+			}
+			e.adj[v], _ = removeSorted(e.adj[v], int32(u))
+			e.edges--
+		}
+		st.wake(int32(u))
+		st.wake(int32(v))
+		st.markDirty(int32(u))
+		st.markDirty(int32(v))
+	case OpInsertNode:
+		id := int32(len(e.adj))
+		// Validate the whole neighbor list before mutating anything, so a
+		// rejected insert leaves no partially-wired (and undirtied) node.
+		for _, nb := range up.Neighbors {
+			if int32(nb) == id {
+				return fmt.Errorf("self-loop at new node %d", id)
+			}
+			if !e.Alive(nb) {
+				return fmt.Errorf("neighbor %d of new node dead or out of range", nb)
+			}
+		}
+		e.adj = append(e.adj, nil)
+		e.alive = append(e.alive, true)
+		e.inSet = append(e.inSet, false)
+		e.awake = append(e.awake, 0)
+		e.aliveCount++
+		for _, nb := range up.Neighbors {
+			var added bool
+			e.adj[id], added = insertSorted(e.adj[id], int32(nb))
+			if !added {
+				continue // duplicate in the neighbor list
+			}
+			e.adj[nb], _ = insertSorted(e.adj[nb], id)
+			e.edges++
+			st.wake(int32(nb))
+		}
+		st.wake(id)
+		st.markDirty(id)
+	case OpRemoveNode:
+		v := up.U
+		if !e.Alive(v) {
+			return fmt.Errorf("node %d dead or out of range", v)
+		}
+		wasMember := e.inSet[v]
+		for _, u := range e.adj[v] {
+			e.adj[u], _ = removeSorted(e.adj[u], int32(v))
+			st.wake(u)
+			if wasMember {
+				// u may have lost its only member neighbor.
+				st.markDirty(u)
+			}
+		}
+		e.edges -= len(e.adj[v])
+		e.adj[v] = nil
+		e.alive[v] = false
+		e.inSet[v] = false
+		e.aliveCount--
+		// The dead slot must not join the repair region even if an earlier
+		// update in the batch marked it.
+		delete(st.dirty, int32(v))
+		delete(st.woken, int32(v))
+	default:
+		return fmt.Errorf("unknown op %d", up.Op)
+	}
+	return nil
+}
+
+func sortedKeys(set map[int32]struct{}) []int32 {
+	out := make([]int32, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// insertSorted inserts x into sorted slice s, reporting whether it was
+// absent.
+func insertSorted(s []int32, x int32) ([]int32, bool) {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= x })
+	if i < len(s) && s[i] == x {
+		return s, false
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = x
+	return s, true
+}
+
+// removeSorted removes x from sorted slice s, reporting whether it was
+// present.
+func removeSorted(s []int32, x int32) ([]int32, bool) {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= x })
+	if i >= len(s) || s[i] != x {
+		return s, false
+	}
+	return append(s[:i], s[i+1:]...), true
+}
+
+func containsSorted(s []int32, x int32) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= x })
+	return i < len(s) && s[i] == x
+}

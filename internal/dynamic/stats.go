@@ -1,0 +1,48 @@
+package dynamic
+
+import "fmt"
+
+// BatchStats reports the measured cost of one Apply call with the same
+// semantics as a static run: rounds elapsed, awake rounds spent, CONGEST
+// messages sent.
+type BatchStats struct {
+	Updates int // updates applied in the batch
+	Woken   int // distinct nodes that woke at least once
+	Region  int // size of the re-elected uncovered region
+	Rounds  int // repair rounds (1 detection/probe round + election rounds)
+
+	AwakeRounds int64 // total node-awake-rounds charged
+	Messages    int64 // CONGEST messages (notifications, probes, election)
+
+	Evictions int // members evicted by conflict resolution
+	Joins     int // members added by the re-election
+	Retries   int // Ghaffari stages that left stragglers
+}
+
+// Stats accumulates engine-lifetime measurements.
+type Stats struct {
+	Batches   int64
+	Updates   int64
+	Elections int64 // batches that needed a re-election
+
+	Rounds     int64 // total repair rounds
+	AwakeTotal int64 // total awake rounds across all repairs
+	Messages   int64
+	WokenTotal int64 // sum over batches of distinct woken nodes
+	Evictions  int64
+	Joins      int64
+	MaxRegion  int // largest re-elected region
+
+	// Bootstrap cost of the initial static run (set via NoteBootstrap).
+	BootstrapRounds   int
+	BootstrapAwake    int64
+	BootstrapMessages int64
+}
+
+// String renders a compact report.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"batches=%d updates=%d elections=%d rounds=%d awake=%d msgs=%d woken=%d evict=%d join=%d maxRegion=%d",
+		s.Batches, s.Updates, s.Elections, s.Rounds, s.AwakeTotal, s.Messages,
+		s.WokenTotal, s.Evictions, s.Joins, s.MaxRegion)
+}

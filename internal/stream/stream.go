@@ -1,0 +1,192 @@
+// Package stream generates deterministic update traces — workloads for
+// the dynamic MIS engine. A trace is a sequence of batches; each batch is
+// applied atomically by dynamic.Engine.Apply.
+//
+// Three workload classes are provided:
+//
+//   - UniformChurn: memoryless random edge toggles, the standard model for
+//     steady background churn;
+//   - SlidingWindow: edges arrive in stream order and expire after a fixed
+//     window, modeling temporal contact graphs;
+//   - HubAttack: an adaptive adversary that repeatedly kills the current
+//     maximum-degree node and reintroduces it, forcing the largest
+//     possible repair regions.
+//
+// Every generator simulates a shadow copy of the topology so that each
+// emitted update is valid when applied in order (no duplicate insertions,
+// no removals of absent edges), and is deterministic in its seed.
+package stream
+
+import (
+	"sort"
+
+	"github.com/energymis/energymis/internal/dynamic"
+	"github.com/energymis/energymis/internal/graph"
+	"github.com/energymis/energymis/internal/rng"
+)
+
+// UniformChurn emits steps batches of `batch` edge toggles each, starting
+// from g's topology: a uniform node pair is inserted when absent and
+// removed when present, keeping density roughly stationary.
+func UniformChurn(g *graph.Graph, steps, batch int, seed uint64) [][]dynamic.Update {
+	if batch < 1 {
+		batch = 1
+	}
+	n := g.N()
+	if n < 2 {
+		return make([][]dynamic.Update, steps)
+	}
+	r := rng.New(seed)
+	present := make(map[[2]int32]bool, g.M())
+	for v := 0; v < n; v++ {
+		for _, u := range g.Neighbors(v) {
+			if int32(v) < u {
+				present[[2]int32{int32(v), u}] = true
+			}
+		}
+	}
+	trace := make([][]dynamic.Update, 0, steps)
+	for t := 0; t < steps; t++ {
+		b := make([]dynamic.Update, 0, batch)
+		for k := 0; k < batch; k++ {
+			// Uniform distinct pair, so every step emits exactly one toggle.
+			u, v := r.Intn(n), r.Intn(n-1)
+			if v >= u {
+				v++
+			}
+			key := edgeKey(u, v)
+			if present[key] {
+				delete(present, key)
+				b = append(b, dynamic.DelEdge(u, v))
+			} else {
+				present[key] = true
+				b = append(b, dynamic.InsEdge(u, v))
+			}
+		}
+		trace = append(trace, b)
+	}
+	return trace
+}
+
+// SlidingWindow emits steps batches over a fixed n-node universe: each
+// step one fresh random edge arrives, and the edge that arrived window
+// steps earlier departs — the classic sliding-window arrival model.
+func SlidingWindow(n, window, steps int, seed uint64) [][]dynamic.Update {
+	if window < 1 {
+		window = 1
+	}
+	if n < 2 {
+		return make([][]dynamic.Update, steps)
+	}
+	r := rng.New(seed)
+	present := make(map[[2]int32]bool)
+	queue := make([][2]int32, 0, window)
+	trace := make([][]dynamic.Update, 0, steps)
+	for t := 0; t < steps; t++ {
+		var b []dynamic.Update
+		// Draw a fresh absent edge (bounded retries keep determinism even
+		// on near-complete windows).
+		for try := 0; try < 32; try++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u == v {
+				continue
+			}
+			key := edgeKey(u, v)
+			if present[key] {
+				continue
+			}
+			present[key] = true
+			queue = append(queue, key)
+			b = append(b, dynamic.InsEdge(u, v))
+			break
+		}
+		if len(queue) > window {
+			old := queue[0]
+			queue = queue[1:]
+			delete(present, old)
+			b = append(b, dynamic.DelEdge(int(old[0]), int(old[1])))
+		}
+		trace = append(trace, b)
+	}
+	return trace
+}
+
+// HubAttack emits steps batches attacking the current maximum-degree
+// node: first a batch that kills the hub and inserts an isolated
+// replacement (the replacement must join the set, and a member hub's death
+// uncovers its whole neighborhood), then a batch reconnecting the
+// replacement to the hub's old neighbors (a fresh member acquiring a full
+// neighborhood at once, forcing conflict evictions and their cascading
+// re-elections). The adversarial worst case for repair locality.
+func HubAttack(g *graph.Graph, steps int, seed uint64) [][]dynamic.Update {
+	// Shadow topology: adjacency sets over a growing slot space.
+	adj := make([]map[int32]struct{}, g.N())
+	alive := make([]bool, g.N())
+	for v := 0; v < g.N(); v++ {
+		alive[v] = true
+		adj[v] = make(map[int32]struct{}, g.Degree(v))
+		for _, u := range g.Neighbors(v) {
+			adj[v][u] = struct{}{}
+		}
+	}
+	trace := make([][]dynamic.Update, 0, steps)
+	for len(trace) < steps {
+		hub := -1
+		for v := range adj {
+			if !alive[v] {
+				continue
+			}
+			if hub < 0 || len(adj[v]) > len(adj[hub]) {
+				hub = v
+			}
+		}
+		if hub < 0 || len(adj[hub]) == 0 {
+			break // no edges left to attack
+		}
+		neighbors := make([]int, 0, len(adj[hub]))
+		for u := range adj[hub] {
+			neighbors = append(neighbors, int(u))
+		}
+		sort.Ints(neighbors)
+
+		// Batch A: kill the hub, insert an isolated replacement.
+		trace = append(trace, []dynamic.Update{dynamic.DelNode(hub), dynamic.InsNode()})
+		for u := range adj[hub] {
+			delete(adj[u], int32(hub))
+		}
+		alive[hub] = false
+		adj[hub] = nil
+		id := int32(len(adj))
+		adj = append(adj, make(map[int32]struct{}, len(neighbors)))
+		alive = append(alive, true)
+		if len(trace) >= steps {
+			break
+		}
+
+		// Batch B: wire the replacement into the old neighborhood.
+		reconnect := make([]dynamic.Update, 0, len(neighbors))
+		for _, u := range neighbors {
+			reconnect = append(reconnect, dynamic.InsEdge(int(id), u))
+			adj[id][int32(u)] = struct{}{}
+			adj[u][id] = struct{}{}
+		}
+		trace = append(trace, reconnect)
+	}
+	return trace
+}
+
+// Updates counts the individual updates in a trace.
+func Updates(trace [][]dynamic.Update) int {
+	n := 0
+	for _, b := range trace {
+		n += len(b)
+	}
+	return n
+}
+
+func edgeKey(u, v int) [2]int32 {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int32{int32(u), int32(v)}
+}

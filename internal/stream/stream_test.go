@@ -1,0 +1,128 @@
+package stream
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/energymis/energymis/internal/dynamic"
+	"github.com/energymis/energymis/internal/graph"
+	"github.com/energymis/energymis/internal/verify"
+)
+
+// applyAll replays a trace against a self-checking engine, so every
+// emitted update must be valid at its point of application.
+func applyAll(t *testing.T, g *graph.Graph, trace [][]dynamic.Update) *dynamic.Engine {
+	t.Helper()
+	e, err := dynamic.New(g, verify.GreedyMIS(g), dynamic.Params{Seed: 1, SelfCheck: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range trace {
+		if _, err := e.Apply(b); err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+	}
+	return e
+}
+
+func TestUniformChurn(t *testing.T) {
+	g := graph.GNP(150, 8.0/150, 3)
+	trace := UniformChurn(g, 100, 2, 42)
+	if len(trace) != 100 {
+		t.Fatalf("trace length %d", len(trace))
+	}
+	applyAll(t, g, trace)
+	// Determinism.
+	if !reflect.DeepEqual(trace, UniformChurn(g, 100, 2, 42)) {
+		t.Fatal("trace not deterministic")
+	}
+	if reflect.DeepEqual(trace, UniformChurn(g, 100, 2, 43)) {
+		t.Fatal("seed has no effect")
+	}
+}
+
+func TestUniformChurnKeepsDensityStationary(t *testing.T) {
+	g := graph.GNP(200, 10.0/200, 5)
+	e := applyAll(t, g, UniformChurn(g, 500, 1, 7))
+	m0 := g.M()
+	if m := e.M(); m < m0/2 || m > m0*2 {
+		t.Fatalf("density drifted: m0=%d m=%d", m0, m)
+	}
+}
+
+func TestSlidingWindow(t *testing.T) {
+	trace := SlidingWindow(100, 50, 300, 9)
+	if len(trace) != 300 {
+		t.Fatalf("trace length %d", len(trace))
+	}
+	g := graph.NewBuilder(100).Build() // empty start
+	e := applyAll(t, g, trace)
+	// Steady state keeps roughly `window` live edges.
+	if m := e.M(); m < 40 || m > 51 {
+		t.Fatalf("window not maintained: m=%d", m)
+	}
+	ins, del := 0, 0
+	for _, b := range trace {
+		for _, up := range b {
+			switch up.Op {
+			case dynamic.OpInsertEdge:
+				ins++
+			case dynamic.OpRemoveEdge:
+				del++
+			}
+		}
+	}
+	if ins == 0 || del == 0 || del > ins {
+		t.Fatalf("arrivals %d departures %d", ins, del)
+	}
+}
+
+func TestHubAttack(t *testing.T) {
+	g := graph.BarabasiAlbert(150, 3, 11)
+	trace := HubAttack(g, 40, 2)
+	if len(trace) != 40 {
+		t.Fatalf("trace length %d", len(trace))
+	}
+	for i, b := range trace {
+		if i%2 == 0 {
+			if len(b) != 2 || b[0].Op != dynamic.OpRemoveNode || b[1].Op != dynamic.OpInsertNode {
+				t.Fatalf("kill batch %d malformed: %+v", i, b)
+			}
+		} else {
+			if len(b) == 0 || b[0].Op != dynamic.OpInsertEdge {
+				t.Fatalf("reconnect batch %d malformed: %+v", i, b)
+			}
+		}
+	}
+	e := applyAll(t, g, trace)
+	if e.AliveCount() != g.N() {
+		t.Fatalf("alive count %d, want %d (kill+replace)", e.AliveCount(), g.N())
+	}
+	// The attack must force large repair regions — a member hub's death
+	// uncovers its whole neighborhood.
+	if e.Stats().MaxRegion < 3 {
+		t.Fatalf("max region %d — hub kills should uncover whole neighborhoods", e.Stats().MaxRegion)
+	}
+	if e.Stats().Evictions == 0 {
+		t.Fatal("reconnects forced no evictions")
+	}
+}
+
+func TestDegenerateUniverses(t *testing.T) {
+	if got := len(UniformChurn(graph.Path(1), 5, 1, 1)); got != 5 {
+		t.Fatalf("churn on 1 node: %d batches", got)
+	}
+	if got := len(SlidingWindow(0, 10, 5, 1)); got != 5 {
+		t.Fatalf("window on 0 nodes: %d batches", got)
+	}
+	if got := len(HubAttack(graph.Path(1), 5, 1)); got != 0 {
+		t.Fatalf("hub attack with no edges: %d batches", got)
+	}
+}
+
+func TestUpdatesCount(t *testing.T) {
+	trace := [][]dynamic.Update{{dynamic.InsEdge(0, 1)}, {}, {dynamic.DelEdge(0, 1), dynamic.InsNode()}}
+	if got := Updates(trace); got != 3 {
+		t.Fatalf("Updates = %d", got)
+	}
+}
