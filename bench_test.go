@@ -1,16 +1,20 @@
-package energymis
+package energymis_test
 
 // Benchmark harness: one benchmark per experiment of DESIGN.md §5.
 // Each benchmark reports the paper's complexity measures as custom
 // metrics (rounds, awake counts) in addition to wall-clock throughput, so
 // `go test -bench=. -benchmem` regenerates every experiment's headline
-// series. cmd/sweep prints the same data as full markdown tables.
+// series. The metrics are produced by internal/bench — the same harness
+// behind `cmd/bench` and BENCH_MIS.json — so both report identical
+// quantities; cmd/sweep prints the same data as full markdown tables.
 
 import (
 	"fmt"
 	"math"
 	"testing"
 
+	energymis "github.com/energymis/energymis"
+	"github.com/energymis/energymis/internal/bench"
 	"github.com/energymis/energymis/internal/degreduce"
 	"github.com/energymis/energymis/internal/graph"
 	"github.com/energymis/energymis/internal/phase1"
@@ -20,28 +24,57 @@ import (
 	"github.com/energymis/energymis/internal/sim"
 )
 
-func reportRun(b *testing.B, g *Graph, algo Algorithm) {
+func reportRun(b *testing.B, g *energymis.Graph, algo energymis.Algorithm) {
 	b.Helper()
-	var res *Result
-	var err error
+	var m bench.Metrics
 	for i := 0; i < b.N; i++ {
-		res, err = Run(g, algo, Options{Seed: uint64(i) + 1})
+		res, err := energymis.Run(g, algo, energymis.Options{Seed: uint64(i) + 1})
 		if err != nil {
 			b.Fatal(err)
 		}
+		m = bench.FromResult(res)
 	}
-	b.ReportMetric(float64(res.Rounds), "rounds")
-	b.ReportMetric(float64(res.MaxAwake), "maxAwake")
-	b.ReportMetric(float64(res.P99Awake), "p99Awake")
-	b.ReportMetric(res.AvgAwake, "avgAwake")
+	b.ReportMetric(float64(m.Rounds), "rounds")
+	b.ReportMetric(float64(m.AwakeMax), "maxAwake")
+	b.ReportMetric(m.AwakeAvg, "avgAwake")
+	if m.AwakeTotal > 0 && b.N > 0 {
+		perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		b.ReportMetric(perOp/float64(m.AwakeTotal), "ns/awake-node-round")
+	}
+}
+
+// BenchmarkHarnessQuick runs the cmd/bench quick suite cases through the
+// standard Go benchmark driver — the same workloads the CI perf gate
+// times, here with -benchmem allocation accounting.
+func BenchmarkHarnessQuick(b *testing.B) {
+	specs, err := bench.Specs(nil, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, spec := range specs {
+		spec := spec
+		b.Run(spec.Key(), func(b *testing.B) {
+			var m bench.Metrics
+			for i := 0; i < b.N; i++ {
+				var err error
+				if m, err = spec.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if m.AwakeTotal > 0 && b.N > 0 {
+				perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+				b.ReportMetric(perOp/float64(m.AwakeTotal), "ns/awake-node-round")
+			}
+		})
+	}
 }
 
 // BenchmarkE1ComparisonTable: the §1.2/§1.3 comparison — every algorithm
 // on a common graph. One sub-benchmark per (n, algorithm) row.
 func BenchmarkE1ComparisonTable(b *testing.B) {
 	for _, n := range []int{4096, 32768} {
-		g := GNP(n, 12.0/float64(n), uint64(n))
-		for _, algo := range Algorithms() {
+		g := energymis.GNP(n, 12.0/float64(n), uint64(n))
+		for _, algo := range energymis.Algorithms() {
 			b.Run(fmt.Sprintf("n=%d/%s", n, algo), func(b *testing.B) {
 				reportRun(b, g, algo)
 			})
@@ -53,9 +86,9 @@ func BenchmarkE1ComparisonTable(b *testing.B) {
 // O(log log n).
 func BenchmarkE2Alg1Scaling(b *testing.B) {
 	for _, n := range []int{2048, 16384, 131072} {
-		g := GNP(n, 10.0/float64(n), uint64(n))
+		g := energymis.GNP(n, 10.0/float64(n), uint64(n))
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			reportRun(b, g, Algorithm1)
+			reportRun(b, g, energymis.Algorithm1)
 		})
 	}
 }
@@ -63,9 +96,9 @@ func BenchmarkE2Alg1Scaling(b *testing.B) {
 // BenchmarkE3Alg2Scaling: Theorem 1.2.
 func BenchmarkE3Alg2Scaling(b *testing.B) {
 	for _, n := range []int{2048, 16384, 131072} {
-		g := GNP(n, 10.0/float64(n), uint64(n))
+		g := energymis.GNP(n, 10.0/float64(n), uint64(n))
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			reportRun(b, g, Algorithm2)
+			reportRun(b, g, energymis.Algorithm2)
 		})
 	}
 }
@@ -74,11 +107,11 @@ func BenchmarkE3Alg2Scaling(b *testing.B) {
 func BenchmarkE4Phase1Residual(b *testing.B) {
 	cases := []struct {
 		name string
-		g    *Graph
+		g    *energymis.Graph
 	}{
-		{"gnp-dense", GNP(2000, 0.3, 3)},
-		{"ba-hubs", BarabasiAlbert(4000, 50, 5)},
-		{"clique", Complete(800)},
+		{"gnp-dense", energymis.GNP(2000, 0.3, 3)},
+		{"ba-hubs", energymis.BarabasiAlbert(4000, 50, 5)},
+		{"clique", energymis.Complete(800)},
 	}
 	for _, tc := range cases {
 		b.Run(tc.name, func(b *testing.B) {
@@ -120,7 +153,7 @@ func BenchmarkE5Schedule(b *testing.B) {
 // BenchmarkE6Shattering: Lemma 2.6 — survivor component sizes.
 func BenchmarkE6Shattering(b *testing.B) {
 	for _, n := range []int{8192, 65536} {
-		g := NearRegular(n, 16, uint64(n))
+		g := energymis.NearRegular(n, 16, uint64(n))
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			var maxComp, survivors int
 			for i := 0; i < b.N; i++ {
@@ -140,7 +173,7 @@ func BenchmarkE6Shattering(b *testing.B) {
 // BenchmarkE7Merge: Lemma 2.8 — merging iterations, tree depth, energy.
 func BenchmarkE7Merge(b *testing.B) {
 	for _, n := range []int{1024, 8192} {
-		g := GNP(n, 5.0/float64(n), uint64(n))
+		g := energymis.GNP(n, 5.0/float64(n), uint64(n))
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			var depth, awake, iters int
 			for i := 0; i < b.N; i++ {
@@ -165,7 +198,7 @@ func BenchmarkE7Merge(b *testing.B) {
 
 // BenchmarkE8DegreeDrop: Lemma 3.1 — Δ -> Δ^0.7 per iteration.
 func BenchmarkE8DegreeDrop(b *testing.B) {
-	g := GNP(2000, 0.35, 8)
+	g := energymis.GNP(2000, 0.35, 8)
 	p := degreduce.DefaultParams()
 	p.StopLogExp = 0
 	p.StopMin = 16
@@ -191,8 +224,8 @@ func BenchmarkE8DegreeDrop(b *testing.B) {
 // BenchmarkE9AverageEnergy: Section 4 — node-averaged energy O(1).
 func BenchmarkE9AverageEnergy(b *testing.B) {
 	for _, n := range []int{8192, 65536} {
-		g := NearRegular(n, 24, uint64(n))
-		for _, algo := range []Algorithm{Algorithm1, Algorithm1Avg} {
+		g := energymis.NearRegular(n, 24, uint64(n))
+		for _, algo := range []energymis.Algorithm{energymis.Algorithm1, energymis.Algorithm1Avg} {
 			b.Run(fmt.Sprintf("n=%d/%s", n, algo), func(b *testing.B) {
 				reportRun(b, g, algo)
 			})
@@ -202,13 +235,13 @@ func BenchmarkE9AverageEnergy(b *testing.B) {
 
 // BenchmarkE10MessageSize: CONGEST compliance — bitsMax vs budget.
 func BenchmarkE10MessageSize(b *testing.B) {
-	g := GNP(16384, 10.0/16384, 7)
-	for _, algo := range Algorithms() {
+	g := energymis.GNP(16384, 10.0/16384, 7)
+	for _, algo := range energymis.Algorithms() {
 		b.Run(algo.String(), func(b *testing.B) {
 			var bits int
 			var viol int64
 			for i := 0; i < b.N; i++ {
-				res, err := Run(g, algo, Options{Seed: uint64(i) + 1})
+				res, err := energymis.Run(g, algo, energymis.Options{Seed: uint64(i) + 1})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -226,7 +259,7 @@ func BenchmarkE10MessageSize(b *testing.B) {
 
 // BenchmarkA3IndegreeThreshold: ablation of the Lemma 2.8 constant.
 func BenchmarkA3IndegreeThreshold(b *testing.B) {
-	g := GNP(4096, 5.0/4096, 11)
+	g := energymis.GNP(4096, 5.0/4096, 11)
 	for _, thresh := range []int{3, 10, 40} {
 		b.Run(fmt.Sprintf("theta=%d", thresh), func(b *testing.B) {
 			p := phase3.DefaultParams(phase3.ModeAlg1)
@@ -245,10 +278,11 @@ func BenchmarkA3IndegreeThreshold(b *testing.B) {
 }
 
 // BenchmarkEngineThroughput measures raw simulator speed (node-rounds per
-// second) to contextualize the experiment runtimes.
+// second) to contextualize the experiment runtimes; the scaling suite of
+// cmd/bench tracks the same workload across worker counts.
 func BenchmarkEngineThroughput(b *testing.B) {
-	g := GNP(50_000, 10.0/50_000, 3)
+	g := energymis.GNP(50_000, 10.0/50_000, 3)
 	b.Run("luby-50k", func(b *testing.B) {
-		reportRun(b, g, Luby)
+		reportRun(b, g, energymis.Luby)
 	})
 }

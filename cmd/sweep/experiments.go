@@ -5,6 +5,7 @@ import (
 	"math"
 
 	energymis "github.com/energymis/energymis"
+	"github.com/energymis/energymis/internal/bench"
 	"github.com/energymis/energymis/internal/core"
 	"github.com/energymis/energymis/internal/degreduce"
 	"github.com/energymis/energymis/internal/graph"
@@ -382,3 +383,34 @@ func runA4(c sweepConfig) error {
 }
 
 var _ = verify.Count // keep import for future extensions
+
+// B1: the cmd/bench harness suites, printed as a markdown table. Reuses
+// the exact suite definitions behind BENCH_MIS.json and the CI perf gate
+// (fixed instance sizes; -scale does not apply). -seeds sets the timed
+// repetitions per case.
+func runB1(c sweepConfig) error {
+	specs, err := bench.Specs(nil, true)
+	if err != nil {
+		return err
+	}
+	reps := c.seeds
+	if reps < 1 {
+		reps = 1
+	}
+	var rows [][]string
+	for _, s := range specs {
+		res, err := bench.Measure(s, reps)
+		if err != nil {
+			return err
+		}
+		m, t := res.Metrics, res.Timing
+		rows = append(rows, []string{
+			res.Key(), i0(int(m.Rounds)), i0(int(m.AwakeMax)), f2(m.AwakeAvg),
+			i0(int(m.Messages)), fmt.Sprintf("%.1f", t.MinNS/1e6), f2(t.NSPerAwakeNodeRound),
+		})
+	}
+	table([]string{"case", "rounds", "maxAwake", "avgAwake", "msgs", "min ms", "ns/awake-node-round"}, rows)
+	fmt.Println()
+	fmt.Printf("(quick subset, %d reps/case; `cmd/bench` emits the full suites as BENCH_MIS.json)\n", reps)
+	return nil
+}

@@ -1,0 +1,88 @@
+package energymis
+
+// Determinism regression tests for the executors: the parallel engine must
+// produce byte-identical outputs and identical complexity counters for any
+// worker count, on static runs and under dynamic churn. Run in CI under
+// -race (the parallel routing phase is lock-free by ownership; races here
+// are correctness bugs, not just perf bugs).
+
+import (
+	"bytes"
+	"testing"
+)
+
+var determinismWorkers = []int{1, 2, 8}
+
+func insetBytes(inSet []bool) []byte {
+	b := make([]byte, len(inSet))
+	for i, in := range inSet {
+		if in {
+			b[i] = 1
+		}
+	}
+	return b
+}
+
+func TestStaticExecutorDeterminism(t *testing.T) {
+	g := GNP(500, 10.0/500, 11)
+	for _, algo := range []Algorithm{Luby, Algorithm1, Algorithm2} {
+		var ref *Result
+		var refSet []byte
+		for _, w := range determinismWorkers {
+			res, err := RunVerified(g, algo, Options{Seed: 5, Workers: w})
+			if err != nil {
+				t.Fatalf("%v workers=%d: %v", algo, w, err)
+			}
+			set := insetBytes(res.InSet)
+			if ref == nil {
+				ref, refSet = res, set
+				continue
+			}
+			if !bytes.Equal(set, refSet) {
+				t.Fatalf("%v workers=%d: MIS differs from sequential", algo, w)
+			}
+			if res.Rounds != ref.Rounds || res.MaxAwake != ref.MaxAwake ||
+				res.AvgAwake != ref.AvgAwake || res.AwakeTotal != ref.AwakeTotal ||
+				res.Messages != ref.Messages || res.MessagesDropped != ref.MessagesDropped ||
+				res.BitsTotal != ref.BitsTotal || res.BitsMax != ref.BitsMax {
+				t.Fatalf("%v workers=%d: counters differ\n seq: %+v\n par: %+v", algo, w, ref, res)
+			}
+			for v := range res.AwakePerNode {
+				if res.AwakePerNode[v] != ref.AwakePerNode[v] {
+					t.Fatalf("%v workers=%d: awake[%d] = %d, sequential %d",
+						algo, w, v, res.AwakePerNode[v], ref.AwakePerNode[v])
+				}
+			}
+		}
+	}
+}
+
+func TestDynamicExecutorDeterminism(t *testing.T) {
+	g := GNP(400, 8.0/400, 7)
+	trace := ChurnStream(g, 60, 2, 13)
+	var refSet []byte
+	var ref DynamicStats
+	for _, w := range determinismWorkers {
+		d, err := NewDynamic(g, Luby, DynamicOptions{Seed: 3, Workers: w, SelfCheck: true})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		for _, batch := range trace {
+			if _, err := d.Apply(batch); err != nil {
+				t.Fatalf("workers=%d: %v", w, err)
+			}
+		}
+		set := insetBytes(d.InSet())
+		st := d.Stats()
+		if refSet == nil {
+			refSet, ref = set, st
+			continue
+		}
+		if !bytes.Equal(set, refSet) {
+			t.Fatalf("workers=%d: maintained MIS differs from sequential", w)
+		}
+		if st != ref {
+			t.Fatalf("workers=%d: stats differ\n seq: %+v\n par: %+v", w, ref, st)
+		}
+	}
+}

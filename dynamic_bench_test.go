@@ -1,21 +1,39 @@
-package energymis
+package energymis_test
 
 // Dynamic-workload benchmarks (experiment D1/D2 of cmd/sweep): repair cost
 // under churn vs. re-running the static algorithm after every update. The
 // headline metric is awake/update — total node-awake-rounds per update —
-// which is where the sleeping model's locality pays off.
+// which is where the sleeping model's locality pays off. Metrics flow
+// through internal/bench so these report exactly what the cmd/bench
+// dynamic suite records in BENCH_MIS.json.
 
 import (
 	"fmt"
 	"testing"
+
+	energymis "github.com/energymis/energymis"
+	"github.com/energymis/energymis/internal/bench"
 )
 
-func benchChurn(b *testing.B, n, updates int, repair RepairAlgo) {
-	g := GNP(n, 8.0/float64(n), uint64(n))
-	trace := ChurnStream(g, updates, 1, 7)
-	var st DynamicStats
+func reportDynamic(b *testing.B, m bench.Metrics) {
+	b.Helper()
+	b.ReportMetric(m.Extra["awake_update"], "awake/update")
+	b.ReportMetric(m.Extra["max_region"], "maxRegion")
+	if up := m.Extra["updates"]; up > 0 {
+		b.ReportMetric(m.Extra["woken_total"]/up, "woken/update")
+	}
+	if m.AwakeTotal > 0 && b.N > 0 {
+		perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		b.ReportMetric(perOp/float64(m.AwakeTotal), "ns/awake-node-round")
+	}
+}
+
+func benchChurn(b *testing.B, n, updates int, repair energymis.RepairAlgo) {
+	g := energymis.GNP(n, 8.0/float64(n), uint64(n))
+	trace := energymis.ChurnStream(g, updates, 1, 7)
+	var m bench.Metrics
 	for i := 0; i < b.N; i++ {
-		d, err := NewDynamic(g, Luby, DynamicOptions{Seed: uint64(i) + 1, Repair: repair})
+		d, err := energymis.NewDynamic(g, energymis.Luby, energymis.DynamicOptions{Seed: uint64(i) + 1, Repair: repair})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -24,19 +42,15 @@ func benchChurn(b *testing.B, n, updates int, repair RepairAlgo) {
 				b.Fatal(err)
 			}
 		}
-		st = d.Stats()
+		m = bench.FromDynamicStats(d.Stats(), d.MISSize(), d.AwakePerNode())
 	}
-	up := float64(st.Updates)
-	b.ReportMetric(float64(st.AwakeTotal)/up, "awake/update")
-	b.ReportMetric(float64(st.WokenTotal)/up, "woken/update")
-	b.ReportMetric(float64(st.Messages)/up, "msgs/update")
-	b.ReportMetric(float64(st.MaxRegion), "maxRegion")
+	reportDynamic(b, m)
 }
 
 // BenchmarkDynamicChurn measures localized repair under uniform churn.
 func BenchmarkDynamicChurn(b *testing.B) {
 	for _, n := range []int{1000, 10000} {
-		for _, repair := range []RepairAlgo{RepairLuby, RepairGhaffari} {
+		for _, repair := range []energymis.RepairAlgo{energymis.RepairLuby, energymis.RepairGhaffari} {
 			b.Run(fmt.Sprintf("n=%d/repair=%v", n, repair), func(b *testing.B) {
 				benchChurn(b, n, 200, repair)
 			})
@@ -50,17 +64,14 @@ func BenchmarkDynamicChurn(b *testing.B) {
 func BenchmarkStaticRecompute(b *testing.B) {
 	for _, n := range []int{1000, 10000} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			g := GNP(n, 8.0/float64(n), uint64(n))
+			g := energymis.GNP(n, 8.0/float64(n), uint64(n))
 			var awake int64
 			for i := 0; i < b.N; i++ {
-				res, err := Run(g, Luby, Options{Seed: uint64(i) + 1})
+				res, err := energymis.Run(g, energymis.Luby, energymis.Options{Seed: uint64(i) + 1})
 				if err != nil {
 					b.Fatal(err)
 				}
-				awake = 0
-				for _, a := range res.AwakePerNode {
-					awake += a
-				}
+				awake = res.AwakeTotal
 			}
 			b.ReportMetric(float64(awake), "awake/update")
 		})
@@ -69,11 +80,12 @@ func BenchmarkStaticRecompute(b *testing.B) {
 
 // BenchmarkDynamicHubAttack measures repair under the adversarial stream.
 func BenchmarkDynamicHubAttack(b *testing.B) {
-	g := BarabasiAlbert(5000, 4, 3)
-	trace := HubAttackStream(g, 100, 5)
-	var st DynamicStats
+	g := energymis.BarabasiAlbert(5000, 4, 3)
+	trace := energymis.HubAttackStream(g, 100, 5)
+	var m bench.Metrics
+	var batches, awakeRepairs float64
 	for i := 0; i < b.N; i++ {
-		d, err := NewDynamic(g, Luby, DynamicOptions{Seed: uint64(i) + 1})
+		d, err := energymis.NewDynamic(g, energymis.Luby, energymis.DynamicOptions{Seed: uint64(i) + 1})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -82,9 +94,12 @@ func BenchmarkDynamicHubAttack(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
-		st = d.Stats()
+		st := d.Stats()
+		batches = float64(st.Batches)
+		awakeRepairs = float64(st.AwakeTotal)
+		m = bench.FromDynamicStats(st, d.MISSize(), d.AwakePerNode())
 	}
-	b.ReportMetric(float64(st.AwakeTotal)/float64(st.Batches), "awake/batch")
-	b.ReportMetric(float64(st.MaxRegion), "maxRegion")
-	b.ReportMetric(float64(st.Evictions), "evictions")
+	b.ReportMetric(awakeRepairs/batches, "awake/batch")
+	b.ReportMetric(m.Extra["max_region"], "maxRegion")
+	b.ReportMetric(m.Extra["evictions"], "evictions")
 }

@@ -156,12 +156,20 @@ type Result struct {
 	// P99Awake is the 99th percentile of per-node awake rounds.
 	P99Awake int
 
+	// AwakeTotal is the total awake node-rounds over the run — the
+	// denominator of the benchmark harness's ns/awake-node-round metric.
+	AwakeTotal int64
+
 	// AwakePerNode is each node's total awake rounds — the per-node
 	// energy spend (e.g. for battery-lifetime analyses).
 	AwakePerNode []int64
 
 	Messages int64 // CONGEST messages sent
-	BitsMax  int   // largest single message, in bits
+	// MessagesDropped counts messages whose receiver was asleep.
+	MessagesDropped int64
+	// BitsTotal is the sum of declared message sizes over the run.
+	BitsTotal int64
+	BitsMax   int // largest single message, in bits
 	// CongestViolations counts messages exceeding the model budget
 	// (always 0 for the shipped algorithms).
 	CongestViolations int64
@@ -209,8 +217,11 @@ func fromCore(algo Algorithm, cres *core.Result) *Result {
 		MaxAwake:          cres.Summary.MaxAwake,
 		AvgAwake:          cres.Summary.AvgAwake,
 		P99Awake:          cres.Summary.P99Awake,
+		AwakeTotal:        cres.Summary.AwakeTotal,
 		AwakePerNode:      cres.AwakePerNode,
 		Messages:          cres.Summary.MsgsSent,
+		MessagesDropped:   cres.Summary.MsgsDropped,
+		BitsTotal:         cres.Summary.BitsTotal,
 		BitsMax:           cres.Summary.BitsMax,
 		CongestViolations: cres.Summary.Violations,
 		Diag:              cres.Diag,

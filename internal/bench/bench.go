@@ -1,0 +1,211 @@
+// Package bench is the machine-readable benchmark harness. It runs named
+// suites of simulator workloads (static MIS runs across graph families and
+// sizes, dynamic churn workloads, parallel-executor scaling), collects the
+// model-level counters (rounds, awake node-rounds, messages, bits) next to
+// wall-time and allocation measurements, and emits a versioned JSON report
+// (BENCH_MIS.json at the repo root) that `cmd/bench -compare` diffs to
+// gate performance regressions in CI.
+//
+// The headline throughput metric is ns/awake-node-round: wall time divided
+// by the total awake node-rounds the run simulates. It normalizes across
+// workloads of different shapes — an engine change that makes each
+// simulated awake step cheaper moves it regardless of which suite caught
+// it — and is the metric the CI gate thresholds.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// SchemaVersion identifies the report layout. Bump when fields change
+// incompatibly; Compare refuses to diff mismatched versions.
+const SchemaVersion = 1
+
+// Metrics are the model-level counters of one workload execution. They are
+// deterministic in the spec's seed, so every repetition measures identical
+// work and wall-time variance is purely environmental.
+type Metrics struct {
+	Rounds          int64   `json:"rounds"`
+	AwakeMax        int64   `json:"awake_max"`
+	AwakeAvg        float64 `json:"awake_avg"`
+	AwakeTotal      int64   `json:"awake_total"`
+	Messages        int64   `json:"messages"`
+	MessagesDropped int64   `json:"messages_dropped"`
+	BitsTotal       int64   `json:"bits_total"`
+	BitsMax         int64   `json:"bits_max"`
+	MISSize         int64   `json:"mis_size,omitempty"`
+	// Extra carries suite-specific counters (e.g. dynamic repair regions).
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Timing is the wall-clock and allocation measurement over Reps runs.
+type Timing struct {
+	Reps        int     `json:"reps"`
+	MeanNS      float64 `json:"mean_ns"`
+	MinNS       float64 `json:"min_ns"`
+	MaxNS       float64 `json:"max_ns"`
+	StdevNS     float64 `json:"stdev_ns"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	// NSPerAwakeNodeRound = MinNS / AwakeTotal: the gated throughput
+	// metric (min over reps is the least noise-sensitive estimator).
+	NSPerAwakeNodeRound float64 `json:"ns_per_awake_node_round"`
+}
+
+// CaseResult is one suite case's measurements.
+type CaseResult struct {
+	Suite   string  `json:"suite"`
+	Name    string  `json:"name"`
+	Metrics Metrics `json:"metrics"`
+	Timing  Timing  `json:"timing"`
+}
+
+// Key identifies the case across reports.
+func (c *CaseResult) Key() string { return c.Suite + "/" + c.Name }
+
+// EnvInfo records where a report was produced.
+type EnvInfo struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Commit     string `json:"commit,omitempty"`
+}
+
+// Report is the versioned top-level document of BENCH_MIS.json.
+type Report struct {
+	SchemaVersion int          `json:"schema_version"`
+	Quick         bool         `json:"quick"`
+	Env           EnvInfo      `json:"env"`
+	Cases         []CaseResult `json:"cases"`
+}
+
+// Case finds a case by key, or nil.
+func (r *Report) Case(key string) *CaseResult {
+	for i := range r.Cases {
+		if r.Cases[i].Key() == key {
+			return &r.Cases[i]
+		}
+	}
+	return nil
+}
+
+// Spec is a runnable case definition. Run must be deterministic: every
+// invocation performs identical simulated work.
+type Spec struct {
+	Suite string
+	Name  string
+	Quick bool // included in quick (CI) mode
+	Run   func() (Metrics, error)
+}
+
+// Key identifies the spec's case across reports.
+func (s *Spec) Key() string { return s.Suite + "/" + s.Name }
+
+// Env captures the current execution environment. The commit hash is
+// best-effort (empty outside a git checkout).
+func Env() EnvInfo {
+	info := EnvInfo{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	if out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output(); err == nil {
+		info.Commit = strings.TrimSpace(string(out))
+	}
+	return info
+}
+
+// Measure executes one spec: a warm-up run that yields the deterministic
+// Metrics, then reps timed runs for the Timing estimate.
+func Measure(spec Spec, reps int) (CaseResult, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	m, err := spec.Run()
+	if err != nil {
+		return CaseResult{}, fmt.Errorf("bench %s: %w", spec.Key(), err)
+	}
+	t := Timing{Reps: reps, MinNS: math.MaxFloat64}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		if _, err := spec.Run(); err != nil {
+			return CaseResult{}, fmt.Errorf("bench %s (rep %d): %w", spec.Key(), r, err)
+		}
+		ns := float64(time.Since(start).Nanoseconds())
+		t.MeanNS += ns
+		if ns < t.MinNS {
+			t.MinNS = ns
+		}
+		if ns > t.MaxNS {
+			t.MaxNS = ns
+		}
+		t.StdevNS += ns * ns
+	}
+	runtime.ReadMemStats(&after)
+	k := float64(reps)
+	t.MeanNS /= k
+	t.StdevNS = math.Sqrt(math.Max(0, t.StdevNS/k-t.MeanNS*t.MeanNS))
+	t.AllocsPerOp = float64(after.Mallocs-before.Mallocs) / k
+	t.BytesPerOp = float64(after.TotalAlloc-before.TotalAlloc) / k
+	if m.AwakeTotal > 0 {
+		t.NSPerAwakeNodeRound = t.MinNS / float64(m.AwakeTotal)
+	}
+	return CaseResult{Suite: spec.Suite, Name: spec.Name, Metrics: m, Timing: t}, nil
+}
+
+// RunSpecs measures every spec in order and assembles the report.
+// progress, when non-nil, receives one line per completed case.
+func RunSpecs(specs []Spec, reps int, quick bool, progress func(string)) (*Report, error) {
+	rep := &Report{SchemaVersion: SchemaVersion, Quick: quick, Env: Env()}
+	for _, s := range specs {
+		res, err := Measure(s, reps)
+		if err != nil {
+			return nil, err
+		}
+		rep.Cases = append(rep.Cases, res)
+		if progress != nil {
+			progress(fmt.Sprintf("%-40s %10.2fms  %8.1f ns/awake-node-round",
+				res.Key(), res.Timing.MinNS/1e6, res.Timing.NSPerAwakeNodeRound))
+		}
+	}
+	return rep, nil
+}
+
+// WriteFile writes the report as indented JSON.
+func WriteFile(path string, r *Report) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile loads a report and validates its schema version.
+func ReadFile(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	if r.SchemaVersion != SchemaVersion {
+		return nil, fmt.Errorf("bench: %s has schema version %d, this binary speaks %d",
+			path, r.SchemaVersion, SchemaVersion)
+	}
+	return &r, nil
+}

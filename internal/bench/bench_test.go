@@ -1,0 +1,197 @@
+package bench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func fakeSpec(suite, name string, awake int64, quick bool) Spec {
+	return Spec{
+		Suite: suite,
+		Name:  name,
+		Quick: quick,
+		Run: func() (Metrics, error) {
+			return Metrics{Rounds: 10, AwakeTotal: awake, Messages: 100}, nil
+		},
+	}
+}
+
+func TestMeasureAndReportRoundTrip(t *testing.T) {
+	rep, err := RunSpecs([]Spec{fakeSpec("s", "a", 1000, true)}, 3, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cases) != 1 || rep.SchemaVersion != SchemaVersion {
+		t.Fatalf("bad report: %+v", rep)
+	}
+	cr := rep.Cases[0]
+	if cr.Timing.Reps != 3 || cr.Timing.MinNS <= 0 || cr.Timing.MinNS > cr.Timing.MaxNS {
+		t.Fatalf("bad timing: %+v", cr.Timing)
+	}
+	if cr.Timing.NSPerAwakeNodeRound <= 0 {
+		t.Fatalf("NSPerAwakeNodeRound not computed: %+v", cr.Timing)
+	}
+	if rep.Env.GoVersion == "" || rep.Env.GOMAXPROCS < 1 {
+		t.Fatalf("bad env: %+v", rep.Env)
+	}
+
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := WriteFile(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Cases[0].Key() != "s/a" || back.Cases[0].Metrics.AwakeTotal != 1000 {
+		t.Fatalf("round trip lost data: %+v", back.Cases[0])
+	}
+}
+
+func TestReadFileRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	rep := &Report{SchemaVersion: SchemaVersion + 1}
+	if err := WriteFile(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil || !strings.Contains(err.Error(), "schema version") {
+		t.Fatalf("expected schema-version error, got %v", err)
+	}
+}
+
+func caseWithNS(suite, name string, ns float64, awake int64) CaseResult {
+	return CaseResult{
+		Suite:   suite,
+		Name:    name,
+		Metrics: Metrics{Rounds: 10, AwakeTotal: awake, Messages: 100},
+		Timing:  Timing{Reps: 1, MinNS: ns, MeanNS: ns, MaxNS: ns, NSPerAwakeNodeRound: ns / float64(awake)},
+	}
+}
+
+func TestCompareGatesOnNSPerAwake(t *testing.T) {
+	old := &Report{SchemaVersion: SchemaVersion, Cases: []CaseResult{caseWithNS("s", "a", 1000, 10)}}
+	cur := &Report{SchemaVersion: SchemaVersion, Cases: []CaseResult{caseWithNS("s", "a", 1100, 10)}}
+	c, err := Compare(old, cur, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Regressed() {
+		t.Fatalf("+10%% flagged as regression at 20%% threshold: %+v", c.Regressions)
+	}
+
+	cur.Cases[0] = caseWithNS("s", "a", 1300, 10)
+	c, err = Compare(old, cur, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Regressed() || len(c.Regressions) != 1 || c.Regressions[0].Metric != GatedMetric {
+		t.Fatalf("+30%% not flagged at 20%% threshold: %+v", c)
+	}
+
+	// A faster current run never regresses.
+	cur.Cases[0] = caseWithNS("s", "a", 500, 10)
+	if c, err = Compare(old, cur, 0.20); err != nil || c.Regressed() {
+		t.Fatalf("faster run flagged: %+v err=%v", c, err)
+	}
+}
+
+func TestCompareDetectsCounterDrift(t *testing.T) {
+	old := &Report{Cases: []CaseResult{caseWithNS("s", "a", 1000, 10)}}
+	cur := &Report{Cases: []CaseResult{caseWithNS("s", "a", 1000, 10)}}
+	cur.Cases[0].Metrics.Messages = 250
+	c, err := Compare(old, cur, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.CounterDrift) != 1 || c.CounterDrift[0].Metric != "messages" {
+		t.Fatalf("counter drift not detected: %+v", c.CounterDrift)
+	}
+}
+
+func TestCompareIntersectionAndVacuity(t *testing.T) {
+	old := &Report{Cases: []CaseResult{
+		caseWithNS("s", "a", 1000, 10),
+		caseWithNS("s", "b", 1000, 10),
+	}}
+	cur := &Report{Cases: []CaseResult{
+		caseWithNS("s", "b", 1000, 10),
+		caseWithNS("s", "c", 1000, 10),
+	}}
+	c, err := Compare(old, cur, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Matched != 1 || len(c.OnlyOld) != 1 || len(c.OnlyNew) != 1 {
+		t.Fatalf("intersection wrong: %+v", c)
+	}
+
+	disjoint := &Report{Cases: []CaseResult{caseWithNS("x", "y", 1, 1)}}
+	if _, err := Compare(old, disjoint, 0); err == nil {
+		t.Fatal("disjoint reports must error (vacuous gate)")
+	}
+}
+
+func TestSpecsSelection(t *testing.T) {
+	all, err := Specs(nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quick, err := Specs(nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(quick) == 0 || len(quick) >= len(all) {
+		t.Fatalf("quick subset wrong: %d of %d", len(quick), len(all))
+	}
+	// Quick cases must be an exact key subset of the full run, so a quick
+	// CI run compares against a full baseline.
+	keys := map[string]bool{}
+	suites := map[string]bool{}
+	for i := range all {
+		keys[all[i].Key()] = true
+	}
+	for i := range quick {
+		if !keys[quick[i].Key()] {
+			t.Fatalf("quick case %s not in full suite", quick[i].Key())
+		}
+		suites[quick[i].Suite] = true
+	}
+	for _, s := range SuiteNames() {
+		if !suites[s] {
+			t.Fatalf("quick mode misses suite %s", s)
+		}
+	}
+
+	only, err := Specs([]string{SuiteDynamic}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range only {
+		if only[i].Suite != SuiteDynamic {
+			t.Fatalf("suite filter leaked %s", only[i].Key())
+		}
+	}
+	if _, err := Specs([]string{"nope"}, false); err == nil {
+		t.Fatal("unknown suite must error")
+	}
+}
+
+// TestHarnessSmoke runs one real (tiny) static case end to end.
+func TestHarnessSmoke(t *testing.T) {
+	specs, err := Specs([]string{SuiteStatic}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Measure(specs[0], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Metrics
+	if m.Rounds <= 0 || m.AwakeTotal <= 0 || m.Messages <= 0 || m.MISSize <= 0 {
+		t.Fatalf("implausible metrics: %+v", m)
+	}
+	if res.Timing.NSPerAwakeNodeRound <= 0 {
+		t.Fatalf("no throughput metric: %+v", res.Timing)
+	}
+}

@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// GatedMetric is the metric the CI perf gate thresholds: a case regresses
+// when its ns/awake-node-round exceeds the baseline's by more than the
+// configured fraction.
+const GatedMetric = "ns_per_awake_node_round"
+
+// DefaultThreshold is the regression budget the gate applies when none is
+// configured: 20% on the gated metric.
+const DefaultThreshold = 0.20
+
+// Delta is one per-case, per-metric difference between two reports.
+type Delta struct {
+	Case   string // suite/name key
+	Metric string
+	Old    float64
+	New    float64
+	Pct    float64 // (New-Old)/Old · 100, 0 when Old == 0
+	Gated  bool    // counts toward the regression verdict
+}
+
+func pct(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (new - old) / old * 100
+}
+
+// Comparison is the outcome of diffing a current report against a
+// baseline.
+type Comparison struct {
+	Threshold   float64
+	Matched     int      // cases present in both reports
+	OnlyOld     []string // baseline cases the current run did not execute
+	OnlyNew     []string // current cases absent from the baseline
+	Deltas      []Delta  // every compared metric, grouped by case
+	Regressions []Delta  // gated metrics beyond the threshold
+	// CounterDrift lists deterministic model counters (rounds, awake,
+	// messages) that changed — not gated, but a changed counter means the
+	// simulated work itself changed, which a reviewer should know.
+	CounterDrift []Delta
+}
+
+// Regressed reports whether the gate should fail.
+func (c *Comparison) Regressed() bool { return len(c.Regressions) > 0 }
+
+// Compare diffs cur against the baseline old. Cases are matched by
+// suite/name key; a quick run against a full baseline compares the
+// intersection. threshold <= 0 selects DefaultThreshold. An error is
+// returned when no cases match (the gate would be vacuous).
+func Compare(old, cur *Report, threshold float64) (*Comparison, error) {
+	if threshold <= 0 {
+		threshold = DefaultThreshold
+	}
+	c := &Comparison{Threshold: threshold}
+	oldByKey := map[string]*CaseResult{}
+	for i := range old.Cases {
+		oldByKey[old.Cases[i].Key()] = &old.Cases[i]
+	}
+	seen := map[string]bool{}
+	for i := range cur.Cases {
+		nc := &cur.Cases[i]
+		key := nc.Key()
+		seen[key] = true
+		oc, ok := oldByKey[key]
+		if !ok {
+			c.OnlyNew = append(c.OnlyNew, key)
+			continue
+		}
+		c.Matched++
+
+		gated := Delta{
+			Case: key, Metric: GatedMetric, Gated: true,
+			Old: oc.Timing.NSPerAwakeNodeRound,
+			New: nc.Timing.NSPerAwakeNodeRound,
+		}
+		gated.Pct = pct(gated.Old, gated.New)
+		c.Deltas = append(c.Deltas, gated)
+		if gated.Old > 0 && gated.New > gated.Old*(1+threshold) {
+			c.Regressions = append(c.Regressions, gated)
+		}
+
+		info := []Delta{
+			{Case: key, Metric: "min_ns", Old: oc.Timing.MinNS, New: nc.Timing.MinNS},
+			{Case: key, Metric: "allocs_per_op", Old: oc.Timing.AllocsPerOp, New: nc.Timing.AllocsPerOp},
+		}
+		counters := []Delta{
+			{Case: key, Metric: "rounds", Old: float64(oc.Metrics.Rounds), New: float64(nc.Metrics.Rounds)},
+			{Case: key, Metric: "awake_total", Old: float64(oc.Metrics.AwakeTotal), New: float64(nc.Metrics.AwakeTotal)},
+			{Case: key, Metric: "messages", Old: float64(oc.Metrics.Messages), New: float64(nc.Metrics.Messages)},
+		}
+		for i := range info {
+			info[i].Pct = pct(info[i].Old, info[i].New)
+		}
+		c.Deltas = append(c.Deltas, info...)
+		for _, d := range counters {
+			d.Pct = pct(d.Old, d.New)
+			c.Deltas = append(c.Deltas, d)
+			if d.Old != d.New {
+				c.CounterDrift = append(c.CounterDrift, d)
+			}
+		}
+	}
+	for key := range oldByKey {
+		if !seen[key] {
+			c.OnlyOld = append(c.OnlyOld, key)
+		}
+	}
+	sort.Strings(c.OnlyOld)
+	sort.Strings(c.OnlyNew)
+	if c.Matched == 0 {
+		return nil, fmt.Errorf("bench: no cases in common between baseline (%d cases) and current run (%d cases)",
+			len(old.Cases), len(cur.Cases))
+	}
+	return c, nil
+}
+
+// Format writes the comparison as a human-readable table: the gated metric
+// per matched case, regressions and counter drift called out.
+func (c *Comparison) Format(w io.Writer) {
+	fmt.Fprintf(w, "%-44s %14s %14s %8s\n", "case ("+GatedMetric+")", "baseline", "current", "delta")
+	for _, d := range c.Deltas {
+		if !d.Gated {
+			continue
+		}
+		mark := ""
+		if d.Old > 0 && d.New > d.Old*(1+c.Threshold) {
+			mark = "  REGRESSION"
+		}
+		fmt.Fprintf(w, "%-44s %14.2f %14.2f %+7.1f%%%s\n", d.Case, d.Old, d.New, d.Pct, mark)
+	}
+	if len(c.CounterDrift) > 0 {
+		fmt.Fprintf(w, "\ncounter drift (simulated work changed):\n")
+		for _, d := range c.CounterDrift {
+			fmt.Fprintf(w, "  %-42s %-12s %14.0f -> %-14.0f %+7.1f%%\n", d.Case, d.Metric, d.Old, d.New, d.Pct)
+		}
+	}
+	if len(c.OnlyOld) > 0 {
+		fmt.Fprintf(w, "\nbaseline-only cases (not run): %v\n", c.OnlyOld)
+	}
+	if len(c.OnlyNew) > 0 {
+		fmt.Fprintf(w, "\nnew cases (no baseline): %v\n", c.OnlyNew)
+	}
+	if c.Regressed() {
+		fmt.Fprintf(w, "\nFAIL: %d case(s) regressed more than %.0f%% on %s\n",
+			len(c.Regressions), c.Threshold*100, GatedMetric)
+	} else {
+		fmt.Fprintf(w, "\nOK: %d case(s) within the %.0f%% budget\n", c.Matched, c.Threshold*100)
+	}
+}

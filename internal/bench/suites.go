@@ -1,0 +1,215 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+
+	energymis "github.com/energymis/energymis"
+)
+
+// The named suites. Quick mode (the CI perf gate) runs the subset of each
+// suite flagged Quick — the *same cases with the same sizes and seeds* as
+// the full run, so quick reports compare cleanly against a full baseline.
+const (
+	SuiteStatic  = "static"  // static MIS runs: graph families × sizes × algorithms
+	SuiteDynamic = "dynamic" // churn workloads through the dynamic repair engine
+	SuiteScaling = "scaling" // parallel-executor scaling, 1 → N workers
+)
+
+// SuiteNames lists every suite in canonical order.
+func SuiteNames() []string { return []string{SuiteStatic, SuiteDynamic, SuiteScaling} }
+
+// lazyGraph builds a generator's graph on first use and caches it, so
+// constructing specs (e.g. for -list) costs nothing and repeated reps
+// don't re-generate topology: the harness times the simulation, not the
+// generator.
+func lazyGraph(gen func() *energymis.Graph) func() *energymis.Graph {
+	var once sync.Once
+	var g *energymis.Graph
+	return func() *energymis.Graph {
+		once.Do(func() { g = gen() })
+		return g
+	}
+}
+
+// FromResult converts a static run's Result into harness metrics. It is
+// shared with the `go test -bench` benchmarks, which report the same
+// quantities through testing.B.
+func FromResult(res *energymis.Result) Metrics {
+	return Metrics{
+		Rounds:          int64(res.Rounds),
+		AwakeMax:        int64(res.MaxAwake),
+		AwakeAvg:        res.AvgAwake,
+		AwakeTotal:      res.AwakeTotal,
+		Messages:        res.Messages,
+		MessagesDropped: res.MessagesDropped,
+		BitsTotal:       res.BitsTotal,
+		BitsMax:         int64(res.BitsMax),
+		MISSize:         int64(res.MISSize()),
+	}
+}
+
+// FromDynamicStats converts a dynamic engine lifetime into harness
+// metrics; the awake totals include the bootstrap (wall time does too)
+// and awakePerNode (DynamicMIS.AwakePerNode) yields the max/avg energy.
+func FromDynamicStats(st energymis.DynamicStats, misSize int, awakePerNode []int64) Metrics {
+	var awakeMax int64
+	for _, a := range awakePerNode {
+		if a > awakeMax {
+			awakeMax = a
+		}
+	}
+	var awakeAvg float64
+	if len(awakePerNode) > 0 {
+		awakeAvg = float64(st.AwakeTotal+st.BootstrapAwake) / float64(len(awakePerNode))
+	}
+	return Metrics{
+		Rounds:     st.Rounds + int64(st.BootstrapRounds),
+		AwakeMax:   awakeMax,
+		AwakeAvg:   awakeAvg,
+		AwakeTotal: st.AwakeTotal + st.BootstrapAwake,
+		Messages:   st.Messages + st.BootstrapMessages,
+		MISSize:    int64(misSize),
+		Extra: map[string]float64{
+			"updates":      float64(st.Updates),
+			"woken_total":  float64(st.WokenTotal),
+			"max_region":   float64(st.MaxRegion),
+			"evictions":    float64(st.Evictions),
+			"awake_update": float64(st.AwakeTotal) / float64(max64(st.Updates, 1)),
+		},
+	}
+}
+
+func staticSpec(family string, g func() *energymis.Graph, n int, algo energymis.Algorithm, workers int, quick bool) Spec {
+	name := fmt.Sprintf("%s/n=%d/%s", family, n, algo)
+	suite := SuiteStatic
+	if workers > 1 || family == "scaling" {
+		suite = SuiteScaling
+		name = fmt.Sprintf("%s/n=%d/workers=%d", algo, n, workers)
+	}
+	return Spec{
+		Suite: suite,
+		Name:  name,
+		Quick: quick,
+		Run: func() (Metrics, error) {
+			res, err := energymis.Run(g(), algo, energymis.Options{Seed: 1, Workers: workers})
+			if err != nil {
+				return Metrics{}, err
+			}
+			return FromResult(res), nil
+		},
+	}
+}
+
+func dynamicSpec(name string, quick bool, setup func() (*energymis.Graph, [][]energymis.Update, energymis.DynamicOptions)) Spec {
+	var once sync.Once
+	var g *energymis.Graph
+	var trace [][]energymis.Update
+	var opts energymis.DynamicOptions
+	return Spec{
+		Suite: SuiteDynamic,
+		Name:  name,
+		Quick: quick,
+		Run: func() (Metrics, error) {
+			once.Do(func() { g, trace, opts = setup() })
+			d, err := energymis.NewDynamic(g, energymis.Luby, opts)
+			if err != nil {
+				return Metrics{}, err
+			}
+			for _, batch := range trace {
+				if _, err := d.Apply(batch); err != nil {
+					return Metrics{}, err
+				}
+			}
+			return FromDynamicStats(d.Stats(), d.MISSize(), d.AwakePerNode()), nil
+		},
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Specs returns the runnable case definitions of the requested suites (nil
+// or empty = all), restricted to the Quick subset when quick is set.
+func Specs(suites []string, quick bool) ([]Spec, error) {
+	want := map[string]bool{}
+	if len(suites) == 0 {
+		suites = SuiteNames()
+	}
+	known := map[string]bool{SuiteStatic: true, SuiteDynamic: true, SuiteScaling: true}
+	for _, s := range suites {
+		if !known[s] {
+			return nil, fmt.Errorf("bench: unknown suite %q (have %v)", s, SuiteNames())
+		}
+		want[s] = true
+	}
+
+	var specs []Spec
+
+	// --- static: graph families × sizes × algorithms ---
+	families := []struct {
+		name string
+		gen  func(n int) func() *energymis.Graph
+	}{
+		{"gnp", func(n int) func() *energymis.Graph {
+			return lazyGraph(func() *energymis.Graph { return energymis.GNP(n, 10.0/float64(n), uint64(n)) })
+		}},
+		{"rgg", func(n int) func() *energymis.Graph {
+			return lazyGraph(func() *energymis.Graph { return energymis.RGG(n, 10.0, uint64(n)) })
+		}},
+		{"ba", func(n int) func() *energymis.Graph {
+			return lazyGraph(func() *energymis.Graph { return energymis.BarabasiAlbert(n, 5, uint64(n)) })
+		}},
+	}
+	for _, fam := range families {
+		for _, n := range []int{4096, 16384} {
+			g := fam.gen(n)
+			for _, algo := range []energymis.Algorithm{energymis.Luby, energymis.Algorithm1} {
+				// Quick subset: the gnp family at both sizes (same keys as
+				// the full run, so -quick -compare matches the baseline).
+				q := fam.name == "gnp"
+				specs = append(specs, staticSpec(fam.name, g, n, algo, 0, q))
+			}
+		}
+	}
+
+	// --- dynamic: churn workloads through the repair engine ---
+	dyn := []Spec{
+		dynamicSpec("churn/n=2000/repair=luby", true, func() (*energymis.Graph, [][]energymis.Update, energymis.DynamicOptions) {
+			g := energymis.GNP(2000, 8.0/2000, 2000)
+			return g, energymis.ChurnStream(g, 150, 1, 7), energymis.DynamicOptions{Seed: 1, Repair: energymis.RepairLuby}
+		}),
+		dynamicSpec("churn/n=2000/repair=ghaffari", false, func() (*energymis.Graph, [][]energymis.Update, energymis.DynamicOptions) {
+			g := energymis.GNP(2000, 8.0/2000, 2000)
+			return g, energymis.ChurnStream(g, 150, 1, 7), energymis.DynamicOptions{Seed: 1, Repair: energymis.RepairGhaffari}
+		}),
+		dynamicSpec("hub-attack/n=2000", false, func() (*energymis.Graph, [][]energymis.Update, energymis.DynamicOptions) {
+			g := energymis.BarabasiAlbert(2000, 4, 3)
+			return g, energymis.HubAttackStream(g, 60, 5), energymis.DynamicOptions{Seed: 1}
+		}),
+	}
+
+	specs = append(specs, dyn...)
+
+	// --- scaling: the parallel executor from 1 to N workers ---
+	{
+		n := 20000
+		g := lazyGraph(func() *energymis.Graph { return energymis.GNP(n, 10.0/float64(n), uint64(n)) })
+		for _, w := range []int{1, 2, 4, 8} {
+			q := w == 1 || w == 4
+			specs = append(specs, staticSpec("scaling", g, n, energymis.Luby, w, q))
+		}
+	}
+
+	var out []Spec
+	for _, s := range specs {
+		if want[s.Suite] && (!quick || s.Quick) {
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}

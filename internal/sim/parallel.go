@@ -2,74 +2,250 @@ package sim
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 )
 
-// composeParallel runs the Compose phase of one round over a worker pool.
-// Machines touch only their own state, and each outbox belongs to exactly
-// one node, so no synchronization beyond the WaitGroup barrier is needed.
-func (e *engine) composeParallel(awake []int32, round int) {
-	workers := e.cfg.Workers
-	if workers > len(awake) {
-		workers = len(awake)
-	}
-	var wg sync.WaitGroup
-	chunk := (len(awake) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(awake) {
-			hi = len(awake)
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(part []int32) {
-			defer wg.Done()
-			for _, v := range part {
-				ob := &e.outboxes[v]
-				ob.reset(v, e.g.Neighbors(int(v)))
-				e.machines[v].Compose(round, ob)
-			}
-		}(awake[lo:hi])
-	}
-	wg.Wait()
+// The parallel executor splits every round into two barrier-separated
+// passes over the awake set:
+//
+//  1. compose+scatter: each awake sender runs Compose and finalizes its
+//     outbox into port-grouped form (final/off), counting traffic into a
+//     per-worker accumulator. Every outbox is owned by exactly one worker,
+//     so the pass is lock-free.
+//  2. gather+deliver: each awake receiver walks its incident ports in
+//     sorted order, and for every awake neighbor uses the CSR port map
+//     (graph.Mates) to locate, in O(1), its own segment of that sender's
+//     finalized outbox. Concatenating segments in port order reproduces
+//     exactly the sender-sorted inbox the sequential executor builds, so
+//     results are byte-identical for any worker count.
+//
+// Routing work that the sequential executor performs as a third, serial
+// phase is folded into these two parallel passes.
+
+// routeStats is one worker's traffic accounting, merged after the compose
+// pass (deterministically: sums and maxes are order-independent).
+type routeStats struct {
+	msgs, drops, bits, viol int64
+	bitsMax                 int32
 }
 
-// deliverParallel runs the Deliver phase of one round over a worker pool
-// and then applies scheduling decisions sequentially (the wake buckets are
-// shared state). Inboxes were filled in sender order by the sequential
-// routing phase, so per-node delivery order matches the sequential
-// executor exactly.
-func (e *engine) deliverParallel(awake []int32, round int) error {
-	workers := e.cfg.Workers
-	if workers > len(awake) {
-		workers = len(awake)
+// roundWorkers bounds the configured worker count by the awake-set size:
+// chunks stay balanced (floor or ceil of k/w items each) and worker counts
+// exceeding k degrade to k single-item chunks rather than degenerate empty
+// ones.
+func (e *engine) roundWorkers(k int) (workers int) {
+	workers = e.cfg.Workers
+	if workers > k {
+		workers = k
 	}
-	next := make([]int, len(awake))
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// runChunks executes chunk(w, lo, hi) for the balanced w-th range of k
+// items on each worker. A single worker runs inline (no goroutine); panics
+// inside workers are captured and re-raised on the caller's goroutine so a
+// misbehaving machine fails the run the same way it does sequentially.
+func runChunks(workers, k int, chunk func(w, lo, hi int)) {
+	if workers <= 1 {
+		chunk(0, 0, k)
+		return
+	}
+	panics := make([]any, workers)
 	var wg sync.WaitGroup
-	chunk := (len(awake) + workers - 1) / workers
 	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(awake) {
-			hi = len(awake)
-		}
-		if lo >= hi {
-			break
-		}
+		lo, hi := w*k/workers, (w+1)*k/workers
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(w, lo, hi int) {
 			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				v := awake[i]
-				next[i] = e.machines[v].Deliver(round, e.inboxes[v])
-				e.inboxes[v] = e.inboxes[v][:0]
-			}
-		}(lo, hi)
+			defer func() { panics[w] = recover() }()
+			chunk(w, lo, hi)
+		}(w, lo, hi)
 	}
 	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+}
+
+func (e *engine) composeParallel(awake []int32, round int) {
+	if len(awake) == 0 {
+		return
+	}
+	workers := e.roundWorkers(len(awake))
+	stamp := e.curStamp
+	for w := 0; w < workers; w++ {
+		e.acctBuf[w] = routeStats{}
+	}
+	runChunks(workers, len(awake), func(w, lo, hi int) {
+		rs := &e.acctBuf[w]
+		for _, v := range awake[lo:hi] {
+			ob := &e.outboxes[v]
+			ob.reset(v, e.g.Neighbors(int(v)))
+			e.machines[v].Compose(round, ob)
+			ob.finalize(e.awakeStamp, stamp, e.cfg.B, rs)
+		}
+	})
+	var merged routeStats
+	for w := 0; w < workers; w++ {
+		rs := e.acctBuf[w]
+		merged.msgs += rs.msgs
+		merged.drops += rs.drops
+		merged.bits += rs.bits
+		merged.viol += rs.viol
+		if rs.bitsMax > merged.bitsMax {
+			merged.bitsMax = rs.bitsMax
+		}
+	}
+	e.res.MsgsSent += merged.msgs
+	e.res.MsgsDropped += merged.drops
+	e.res.BitsTotal += merged.bits
+	e.res.Violations += merged.viol
+	if int(merged.bitsMax) > e.res.BitsMax {
+		e.res.BitsMax = int(merged.bitsMax)
+	}
+	if merged.viol > 0 && e.cfg.Strict {
+		panic(fmt.Sprintf("sim: %d messages exceed CONGEST budget %d", merged.viol, e.cfg.B))
+	}
+}
+
+// finalize groups this round's queued messages by destination port:
+// final[off[p]:off[p+1]] holds port p's messages, broadcasts first then
+// unicasts, each in call order — the order the sequential router delivers
+// them in. Traffic is accounted into rs; messages whose receiver is asleep
+// this round are counted as dropped (they stay in the buffer but no asleep
+// node gathers).
+func (ob *Outbox) finalize(awakeStamp []int64, stamp int64, budget int, rs *routeStats) {
+	d := len(ob.neighbors)
+	nb := len(ob.bcast)
+	nu := len(ob.msgs)
+	total := nb*d + nu
+	if cap(ob.off) < d+1 {
+		ob.off = make([]int32, d+1)
+		ob.cur = make([]int32, d+1)
+	}
+	ob.off = ob.off[:d+1]
+	ob.cur = ob.cur[:d+1]
+	if total == 0 {
+		for i := range ob.off {
+			ob.off[i] = 0
+		}
+		return
+	}
+
+	// Account broadcasts: one CONGEST message per incident edge each.
+	for i := range ob.bcast {
+		m := &ob.bcast[i]
+		rs.msgs += int64(d)
+		rs.bits += int64(d) * int64(m.Bits)
+		if m.Bits > rs.bitsMax {
+			rs.bitsMax = m.Bits
+		}
+		if int(m.Bits) > budget {
+			rs.viol += int64(d)
+		}
+	}
+
+	// Per-port counts (cur doubles as the counting buffer); the resolved
+	// ports are kept for the placement pass so each unicast pays one
+	// binary search.
+	cnt := ob.cur
+	for p := 0; p <= d; p++ {
+		cnt[p] = 0
+	}
+	ob.uports = ob.uports[:0]
+	for i := range ob.msgs {
+		am := &ob.msgs[i]
+		p := portOf(ob.neighbors, am.to)
+		if p < 0 {
+			panic(fmt.Sprintf("sim: node %d unicast to non-neighbor %d", ob.node, am.to))
+		}
+		ob.uports = append(ob.uports, int32(p))
+		cnt[p]++
+		m := &am.msg
+		rs.msgs++
+		rs.bits += int64(m.Bits)
+		if m.Bits > rs.bitsMax {
+			rs.bitsMax = m.Bits
+		}
+		if int(m.Bits) > budget {
+			rs.viol++
+		}
+	}
+
+	// Offsets, then write cursors positioned after each broadcast block.
+	off := ob.off
+	run := int32(0)
+	for p := 0; p < d; p++ {
+		c := cnt[p] + int32(nb)
+		off[p] = run
+		cnt[p] = run + int32(nb)
+		run += c
+	}
+	off[d] = run
+
+	if cap(ob.final) < total {
+		ob.final = make([]Msg, total)
+	}
+	final := ob.final[:total]
+	for bi := range ob.bcast {
+		m := ob.bcast[bi]
+		for p := 0; p < d; p++ {
+			final[off[p]+int32(bi)] = m
+		}
+	}
+	for i := range ob.msgs {
+		p := ob.uports[i]
+		final[cnt[p]] = ob.msgs[i].msg
+		cnt[p]++
+	}
+	ob.final = final
+
+	// Drops: every message on a port whose receiver sleeps this round.
+	for p := 0; p < d; p++ {
+		if awakeStamp[ob.neighbors[p]] != stamp {
+			rs.drops += int64(off[p+1] - off[p])
+		}
+	}
+}
+
+// portOf returns the index of u in the sorted neighbor list, or -1.
+func portOf(neighbors []int32, u int32) int {
+	i := sort.Search(len(neighbors), func(i int) bool { return neighbors[i] >= u })
+	if i < len(neighbors) && neighbors[i] == u {
+		return i
+	}
+	return -1
+}
+
+// deliverParallel gathers each awake receiver's inbox from the finalized
+// outboxes via the port map, runs Deliver over the worker pool, and then
+// applies scheduling decisions sequentially (the wake buckets are shared
+// state).
+func (e *engine) deliverParallel(awake []int32, round int) error {
+	if len(awake) == 0 {
+		return nil
+	}
+	workers := e.roundWorkers(len(awake))
+	stamp := e.curStamp
+	if cap(e.nextBuf) < len(awake) {
+		e.nextBuf = make([]int, len(awake))
+	}
+	next := e.nextBuf[:len(awake)]
+	runChunks(workers, len(awake), func(w, lo, hi int) {
+		inbox := e.scratch[w]
+		for i := lo; i < hi; i++ {
+			u := awake[i]
+			inbox = e.gather(inbox[:0], u, stamp, awake)
+			next[i] = e.machines[u].Deliver(round, inbox)
+		}
+		e.scratch[w] = inbox
+	})
 	for i, v := range awake {
 		if next[i] != Never && next[i] <= round {
 			return fmt.Errorf("sim: node %d returned wake round %d <= current %d", v, next[i], round)
@@ -79,4 +255,48 @@ func (e *engine) deliverParallel(awake []int32, round int) error {
 		}
 	}
 	return nil
+}
+
+// gather appends the round's messages for receiver u to inbox, in the
+// sequential executor's delivery order: ascending sender, with each
+// sender's broadcasts before its unicasts in call order. When the awake
+// set is much smaller than u's degree it iterates awake senders with a
+// port lookup instead of scanning every incident port.
+func (e *engine) gather(inbox []Msg, u int32, stamp int64, awake []int32) []Msg {
+	nbrs := e.g.Neighbors(int(u))
+	base := e.g.ArcBase(int(u))
+	if len(awake)*8 < len(nbrs) {
+		// Sparse round: intersect the (sorted) awake set with the
+		// adjacency list from the sender side.
+		for _, v := range awake {
+			if v == u {
+				continue
+			}
+			p := e.g.Port(int(u), v)
+			if p < 0 {
+				continue
+			}
+			inbox = e.gatherPort(inbox, base, int32(p), v)
+		}
+		return inbox
+	}
+	for p, v := range nbrs {
+		if e.awakeStamp[v] != stamp {
+			continue
+		}
+		inbox = e.gatherPort(inbox, base, int32(p), v)
+	}
+	return inbox
+}
+
+// gatherPort appends the messages sender v queued on the edge arriving at
+// the receiver's arc base+p. The port map turns the receiver-side arc into
+// the sender-side port in O(1).
+func (e *engine) gatherPort(inbox []Msg, base, p, v int32) []Msg {
+	q := e.mates[base+p] - e.g.ArcBase(int(v))
+	ob := &e.outboxes[v]
+	if int(q)+1 >= len(ob.off) {
+		return inbox // sender composed nothing this round
+	}
+	return append(inbox, ob.final[ob.off[q]:ob.off[q+1]]...)
 }

@@ -18,7 +18,7 @@ package sim
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"github.com/energymis/energymis/internal/graph"
 	"github.com/energymis/energymis/internal/rng"
@@ -65,12 +65,23 @@ type Machine interface {
 
 // Outbox collects the messages a node sends in one round. At most one
 // message per neighbor per round is allowed (the CONGEST discipline);
-// Broadcast counts as one message on every incident edge.
+// Broadcast counts as one message on every incident edge. Unicasts must
+// address a neighbor of the sending node (the parallel executor enforces
+// this; it is a model violation either way).
 type Outbox struct {
 	node      int32
 	neighbors []int32
 	msgs      []addressed
 	bcast     []Msg
+
+	// Port-grouped finalized form, used by the parallel routing phase:
+	// final holds this round's messages grouped by destination port, with
+	// port p's segment at final[off[p]:off[p+1]] (broadcasts first, then
+	// unicasts, each in call order). All buffers are reused across rounds.
+	final  []Msg
+	off    []int32
+	cur    []int32
+	uports []int32 // resolved unicast ports, one per entry of msgs
 }
 
 type addressed struct {
@@ -160,6 +171,10 @@ func log2Ceil(n int) int {
 // returns the measured Result. machines[v] is node v's automaton; len must
 // equal g.N(). An error is returned only if the MaxRounds cap is hit or a
 // machine misbehaves (returns a non-increasing wake round).
+//
+// The Config is normalized once here: Workers < 1 is treated as 1
+// (sequential), Workers is capped at the node count, and the zero values
+// of B and MaxRounds get their documented defaults.
 func Run(g *graph.Graph, machines []Machine, cfg Config) (*Result, error) {
 	n := g.N()
 	if len(machines) != n {
@@ -171,6 +186,12 @@ func Run(g *graph.Graph, machines []Machine, cfg Config) (*Result, error) {
 	if cfg.MaxRounds == 0 {
 		cfg.MaxRounds = 1 << 22
 	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.Workers > n && n > 0 {
+		cfg.Workers = n
+	}
 	e := &engine{g: g, machines: machines, cfg: cfg}
 	return e.run()
 }
@@ -180,11 +201,24 @@ type engine struct {
 	machines []Machine
 	cfg      Config
 
-	buckets    map[int][]int32 // wake round -> nodes
-	awakeStamp []int64         // node -> last round awake (+1), 0 = never
+	// Wake schedule: a bucket of nodes per pending round, a min-heap of
+	// the pending rounds, and a free list so bucket slices are reused
+	// across rounds instead of reallocated.
+	buckets    map[int][]int32
+	roundHeap  []int
+	bucketPool [][]int32
+
+	awakeStamp []int64 // node -> last round awake (+1), 0 = never
 	inboxes    [][]Msg
 	outboxes   []Outbox
 	res        Result
+
+	// Parallel executor state (allocated only when Workers > 1).
+	mates    []int32 // CSR port map (graph.Mates)
+	scratch  [][]Msg // per-worker inbox gather buffers
+	nextBuf  []int   // per-round wake decisions, reused
+	acctBuf  []routeStats
+	curStamp int64
 }
 
 func (e *engine) schedule(v int32, round int) error {
@@ -194,7 +228,17 @@ func (e *engine) schedule(v int32, round int) error {
 	if round < 0 {
 		return fmt.Errorf("sim: node %d scheduled invalid round %d", v, round)
 	}
-	e.buckets[round] = append(e.buckets[round], v)
+	b, ok := e.buckets[round]
+	if !ok {
+		// New pending round: register it in the heap and take a pooled
+		// slice for its bucket.
+		heapPush(&e.roundHeap, round)
+		if k := len(e.bucketPool); k > 0 {
+			b = e.bucketPool[k-1][:0]
+			e.bucketPool = e.bucketPool[:k-1]
+		}
+	}
+	e.buckets[round] = append(b, v)
 	return nil
 }
 
@@ -205,9 +249,16 @@ func (e *engine) run() (*Result, error) {
 	e.inboxes = make([][]Msg, n)
 	e.outboxes = make([]Outbox, n)
 	e.res.Awake = make([]int32, n)
+	parallel := e.cfg.Workers > 1
+	if parallel {
+		e.mates = e.g.Mates()
+		e.scratch = make([][]Msg, e.cfg.Workers)
+		e.acctBuf = make([]routeStats, e.cfg.Workers)
+	}
 
+	envs := make([]Env, n)
 	for v := 0; v < n; v++ {
-		env := &Env{
+		envs[v] = Env{
 			Node:      v,
 			N:         n,
 			Degree:    e.g.Degree(v),
@@ -215,32 +266,23 @@ func (e *engine) run() (*Result, error) {
 			B:         e.cfg.B,
 			Rand:      rng.NewForNode(e.cfg.Seed, v),
 		}
-		first := e.machines[v].Init(env)
+		first := e.machines[v].Init(&envs[v])
 		if err := e.schedule(int32(v), first); err != nil {
 			return nil, err
 		}
 	}
 
-	round := 0
-	for len(e.buckets) > 0 {
-		awake, ok := e.buckets[round]
-		if !ok {
-			// Jump to the next scheduled round (nodes sleep in between;
-			// those rounds still elapse on the wall clock).
-			next := math.MaxInt
-			for r := range e.buckets {
-				if r < next {
-					next = r
-				}
-			}
-			round = next
-			awake = e.buckets[round]
-		}
+	for len(e.roundHeap) > 0 {
+		// Every scheduled round exceeds every processed round, so the
+		// heap minimum is always the next round with awake nodes; rounds
+		// in between elapse on the wall clock with everyone asleep.
+		round := heapPop(&e.roundHeap)
+		awake := e.buckets[round]
 		delete(e.buckets, round)
 		if round >= e.cfg.MaxRounds {
 			return nil, fmt.Errorf("sim: exceeded MaxRounds=%d", e.cfg.MaxRounds)
 		}
-		sort.Slice(awake, func(i, j int) bool { return awake[i] < awake[j] })
+		slices.Sort(awake)
 		// Deduplicate: a node must not be double-scheduled, but be tolerant
 		// of identical entries.
 		awake = dedupSorted(awake)
@@ -251,41 +293,42 @@ func (e *engine) run() (*Result, error) {
 			e.res.Awake[v]++
 		}
 
-		// Phase 1: compose.
-		if e.cfg.Workers > 1 {
+		if parallel {
+			// Compose+route scatter and gather+deliver, both over the
+			// worker pool (see parallel.go).
+			e.curStamp = stamp
 			e.composeParallel(awake, round)
+			if err := e.deliverParallel(awake, round); err != nil {
+				return nil, err
+			}
 		} else {
+			// Phase 1: compose.
 			for _, v := range awake {
 				ob := &e.outboxes[v]
 				ob.reset(v, e.g.Neighbors(int(v)))
 				e.machines[v].Compose(round, ob)
 			}
-		}
 
-		// Phase 2: route (sequential, in sender order, so inboxes are
-		// sorted by sender and runs are deterministic).
-		for _, v := range awake {
-			ob := &e.outboxes[v]
-			for _, m := range ob.bcast {
-				// A broadcast occupies every incident edge: one CONGEST
-				// message per neighbor.
-				for _, u := range ob.neighbors {
-					e.accountMsg(m)
-					e.deliverTo(u, m, stamp)
+			// Phase 2: route (in sender order, so inboxes are sorted by
+			// sender and runs are deterministic).
+			for _, v := range awake {
+				ob := &e.outboxes[v]
+				for _, m := range ob.bcast {
+					// A broadcast occupies every incident edge: one CONGEST
+					// message per neighbor; account the whole fan-out at
+					// once instead of per copy.
+					e.accountFanout(m, len(ob.neighbors))
+					for _, u := range ob.neighbors {
+						e.deliverTo(u, m, stamp)
+					}
+				}
+				for _, am := range ob.msgs {
+					e.accountMsg(am.msg)
+					e.deliverTo(am.to, am.msg, stamp)
 				}
 			}
-			for _, am := range ob.msgs {
-				e.accountMsg(am.msg)
-				e.deliverTo(am.to, am.msg, stamp)
-			}
-		}
 
-		// Phase 3: deliver and reschedule.
-		if e.cfg.Workers > 1 {
-			if err := e.deliverParallel(awake, round); err != nil {
-				return nil, err
-			}
-		} else {
+			// Phase 3: deliver and reschedule.
 			for _, v := range awake {
 				next := e.machines[v].Deliver(round, e.inboxes[v])
 				e.inboxes[v] = e.inboxes[v][:0]
@@ -297,10 +340,69 @@ func (e *engine) run() (*Result, error) {
 				}
 			}
 		}
+		e.bucketPool = append(e.bucketPool, awake)
 		e.res.Rounds = round + 1
-		round++
 	}
 	return &e.res, nil
+}
+
+// heapPush / heapPop implement a plain int min-heap (no interface
+// indirection; the schedule is on the engine's hot path).
+func heapPush(h *[]int, x int) {
+	*h = append(*h, x)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if s[p] <= s[i] {
+			break
+		}
+		s[p], s[i] = s[i], s[p]
+		i = p
+	}
+}
+
+func heapPop(h *[]int) int {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	*h = s[:last]
+	s = s[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(s) && s[l] < s[min] {
+			min = l
+		}
+		if r < len(s) && s[r] < s[min] {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return top
+}
+
+func (e *engine) accountFanout(m Msg, copies int) {
+	if copies == 0 {
+		return
+	}
+	e.res.MsgsSent += int64(copies)
+	e.res.BitsTotal += int64(copies) * int64(m.Bits)
+	if int(m.Bits) > e.res.BitsMax {
+		e.res.BitsMax = int(m.Bits)
+	}
+	if int(m.Bits) > e.cfg.B {
+		if e.cfg.Strict {
+			panic(fmt.Sprintf("sim: message of %d bits exceeds CONGEST budget %d", m.Bits, e.cfg.B))
+		}
+		e.res.Violations += int64(copies)
+	}
 }
 
 func (e *engine) accountMsg(m Msg) {

@@ -26,6 +26,7 @@ type Phase struct {
 	AvgAwake    float64 // averaged over the *original* node count
 	MsgsSent    int64
 	MsgsDropped int64
+	BitsTotal   int64
 	BitsMax     int
 	Violations  int64
 	Retries     int // times the phase had to re-run a failing stage
@@ -63,6 +64,7 @@ func (a *Accumulator) AddPhase(name string, res *sim.Result, origIDs []int32) {
 		AvgAwake:    float64(sum) / float64(a.n),
 		MsgsSent:    res.MsgsSent,
 		MsgsDropped: res.MsgsDropped,
+		BitsTotal:   res.BitsTotal,
 		BitsMax:     res.BitsMax,
 		Violations:  res.Violations,
 	})
@@ -100,8 +102,10 @@ type Summary struct {
 	MaxAwake    int     // energy complexity: max over nodes of total awake rounds
 	AvgAwake    float64 // node-averaged energy
 	P99Awake    int     // 99th-percentile awake rounds
+	AwakeTotal  int64   // total awake node-rounds (the benchmark denominator)
 	MsgsSent    int64
 	MsgsDropped int64
+	BitsTotal   int64
 	BitsMax     int
 	Violations  int64
 	Retries     int
@@ -118,6 +122,7 @@ func (a *Accumulator) Summarize() Summary {
 	for _, c := range a.awake {
 		sum += c
 	}
+	s.AwakeTotal = sum
 	if a.n > 0 {
 		s.MaxAwake = int(sorted[a.n-1])
 		s.AvgAwake = float64(sum) / float64(a.n)
@@ -127,6 +132,7 @@ func (a *Accumulator) Summarize() Summary {
 		s.Rounds += p.Rounds
 		s.MsgsSent += p.MsgsSent
 		s.MsgsDropped += p.MsgsDropped
+		s.BitsTotal += p.BitsTotal
 		s.Violations += p.Violations
 		s.Retries += p.Retries
 		if p.BitsMax > s.BitsMax {
