@@ -17,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"github.com/energymis/energymis/internal/bench"
@@ -29,6 +31,7 @@ func main() {
 func run() int {
 	var (
 		suitesFlag = flag.String("suites", "", "comma-separated suites to run (default all: "+strings.Join(bench.SuiteNames(), ",")+")")
+		suiteAlias = flag.String("suite", "", "alias for -suites")
 		quick      = flag.Bool("quick", false, "run only the quick subset (same cases/sizes as the full run; fewer of them)")
 		reps       = flag.Int("reps", 0, "timed repetitions per case (default 5)")
 		out        = flag.String("out", "", "write the JSON report to this path")
@@ -36,12 +39,17 @@ func run() int {
 		threshold  = flag.Float64("threshold", bench.DefaultThreshold, "regression budget on ns/awake-node-round (fraction, e.g. 0.20)")
 		list       = flag.Bool("list", false, "list the selected cases and exit")
 		quiet      = flag.Bool("q", false, "suppress per-case progress output")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the measured runs to this path")
+		memprofile = flag.String("memprofile", "", "write an allocation profile (after the runs) to this path")
 	)
 	flag.Parse()
 
 	var suites []string
-	if *suitesFlag != "" {
-		for _, s := range strings.Split(*suitesFlag, ",") {
+	for _, flagVal := range []string{*suitesFlag, *suiteAlias} {
+		if flagVal == "" {
+			continue
+		}
+		for _, s := range strings.Split(flagVal, ",") {
 			suites = append(suites, strings.TrimSpace(s))
 		}
 	}
@@ -73,27 +81,48 @@ func run() int {
 	if *quiet {
 		progress = nil
 	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
 	report, err := bench.RunSpecs(specs, r, *quick, progress)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
-
-	if *out != "" {
-		if err := bench.WriteFile(*out, report); err != nil {
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 2
 		}
-		fmt.Fprintf(os.Stderr, "wrote %s (%d cases)\n", *out, len(report.Cases))
+		runtime.GC() // flush accurate allocation stats into the profile
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *memprofile)
 	}
 
+	var cmp *bench.Comparison
 	if *compare != "" {
 		baseline, err := bench.ReadFile(*compare)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 2
 		}
-		cmp, err := bench.Compare(baseline, report, *threshold)
+		cmp, err = bench.Compare(baseline, report, *threshold)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 2
@@ -109,6 +138,19 @@ func run() int {
 				return 2
 			}
 		}
+	}
+
+	// Write the report only after any re-measurement has replaced noisy
+	// timings: the saved JSON must be the exact data the gate judged.
+	if *out != "" {
+		if err := bench.WriteFile(*out, report); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d cases)\n", *out, len(report.Cases))
+	}
+
+	if cmp != nil {
 		cmp.Format(os.Stdout)
 		if cmp.Regressed() {
 			return 1
@@ -130,11 +172,15 @@ func remeasureRegressed(specs []bench.Spec, baseline, report *bench.Report, cmp 
 	for _, s := range specs {
 		byKey[s.Key()] = s
 	}
+	done := map[string]bool{}
 	for _, d := range cmp.Regressions {
+		// A case past both gated metrics appears once per metric; one
+		// re-measurement covers both.
 		spec, ok := byKey[d.Case]
-		if !ok {
+		if !ok || done[d.Case] {
 			continue
 		}
+		done[d.Case] = true
 		if progress != nil {
 			progress(fmt.Sprintf("re-measuring regressed case %s", d.Case))
 		}
@@ -142,8 +188,22 @@ func remeasureRegressed(specs []bench.Spec, baseline, report *bench.Report, cmp 
 		if err != nil {
 			return nil, err
 		}
-		if cur := report.Case(d.Case); cur != nil && again.Timing.MinNS < cur.Timing.MinNS {
-			cur.Timing = again.Timing
+		// Keep the better of the two measurements per gated metric (wall
+		// time and allocations move independently): a noisy burst shouldn't
+		// fail the gate, a real regression repeats.
+		if cur := report.Case(d.Case); cur != nil {
+			best := cur.Timing
+			if t := again.Timing; t.MinNS < best.MinNS {
+				best.Reps, best.MinNS, best.MeanNS, best.MaxNS, best.StdevNS = t.Reps, t.MinNS, t.MeanNS, t.MaxNS, t.StdevNS
+				best.NSPerAwakeNodeRound = t.NSPerAwakeNodeRound
+				best.RunsPerSec = t.RunsPerSec
+			}
+			if t := again.Timing; t.AllocsPerAwakeNodeRound < best.AllocsPerAwakeNodeRound {
+				best.AllocsPerOp, best.BytesPerOp = t.AllocsPerOp, t.BytesPerOp
+				best.AllocsPerAwakeNodeRound = t.AllocsPerAwakeNodeRound
+				best.AllocsPerRun = t.AllocsPerRun
+			}
+			cur.Timing = best
 		}
 	}
 	return bench.Compare(baseline, report, threshold)

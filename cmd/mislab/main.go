@@ -10,7 +10,10 @@
 //	mislab -dynamic -stream churn -updates 1000 -n 10000
 //	mislab -dynamic -stream hub -graph ba -n 5000
 //
-// Graphs: gnp, rgg, ba, grid, tree, reg, clique, star, path, cliquechain.
+// Graphs: gnp, rgg, udg, ba, grid, tree, reg, clique, star, path,
+// cliquechain.
+// (udg is the fixed-radius unit-disk family: -radius sets the
+// communication range, 0 derives it from -deg.)
 // Algorithms: luby, algorithm1, algorithm2, algorithm1-avg,
 // algorithm2-avg, or "all". Streams: churn, window, hub.
 package main
@@ -36,6 +39,7 @@ func run() error {
 		graphName  = flag.String("graph", "gnp", "graph family")
 		n          = flag.Int("n", 10000, "number of nodes")
 		deg        = flag.Float64("deg", 8, "target average degree (density knob)")
+		radius     = flag.Float64("radius", 0, "udg communication radius (0 = derive from -deg)")
 		seed       = flag.Uint64("seed", 1, "random seed (graph and run)")
 		workers    = flag.Int("workers", 0, "parallel executor width (0 = sequential)")
 		verify     = flag.Bool("verify", true, "verify the output is a maximal independent set")
@@ -47,7 +51,7 @@ func run() error {
 	)
 	flag.Parse()
 
-	g, err := makeGraph(*graphName, *n, *deg, *seed)
+	g, err := makeGraph(*graphName, *n, *deg, *radius, *seed)
 	if err != nil {
 		return err
 	}
@@ -106,12 +110,17 @@ func pickAlgos(name string) ([]energymis.Algorithm, error) {
 	return nil, fmt.Errorf("unknown algorithm %q", name)
 }
 
-func makeGraph(name string, n int, deg float64, seed uint64) (*energymis.Graph, error) {
+func makeGraph(name string, n int, deg, radius float64, seed uint64) (*energymis.Graph, error) {
 	switch name {
 	case "gnp":
 		return energymis.GNP(n, deg/float64(max(1, n-1)), seed), nil
 	case "rgg":
 		return energymis.RGG(n, deg, seed), nil
+	case "udg":
+		if radius <= 0 {
+			radius = energymis.RadiusForAvgDegree(n, deg)
+		}
+		return energymis.RandomGeometric(n, radius, seed), nil
 	case "ba":
 		m := int(deg/2) + 1
 		return energymis.BarabasiAlbert(n, m, seed), nil

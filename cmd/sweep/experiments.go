@@ -414,3 +414,29 @@ func runB1(c sweepConfig) error {
 	fmt.Printf("(quick subset, %d reps/case; `cmd/bench` emits the full suites as BENCH_MIS.json)\n", reps)
 	return nil
 }
+
+// G1: the unit-disk sensor-field scenario — a fixed communication radius
+// while the deployment densifies, so average degree grows linearly with n.
+// Luby's energy tracks its O(log n) time, while Algorithm 1 keeps per-node
+// energy near-flat: exactly the battery-lifetime story of the paper's
+// sensor-network motivation, on the RandomGeometric family.
+func runG1(c sweepConfig) error {
+	const radius = 0.025
+	var rows [][]string
+	for _, base := range []int{4000, 8000, 16000} {
+		n := c.n(base)
+		g := energymis.RandomGeometric(n, radius, uint64(n))
+		for _, algo := range []energymis.Algorithm{energymis.Luby, energymis.Algorithm1} {
+			m, err := measure(g, algo, c.seeds)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, []string{
+				i0(n), f2(g.AvgDegree()), i0(g.MaxDegree()), algo.String(),
+				f2(m.rounds), f2(m.maxAwake), f2(m.avg), f2(m.mis),
+			})
+		}
+	}
+	table([]string{"n", "avg deg", "Δ", "algorithm", "rounds", "maxAwake", "avgAwake", "|MIS|"}, rows)
+	return nil
+}

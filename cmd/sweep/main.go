@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		expts = flag.String("e", "all", "comma-separated experiment IDs (E1..E10, A1..A4, D1..D2, B1, all)")
+		expts = flag.String("e", "all", "comma-separated experiment IDs (E1..E10, A1..A4, D1..D2, B1, G1, all)")
 		seeds = flag.Int("seeds", 3, "seeds per configuration")
 		scale = flag.Float64("scale", 1, "instance-size multiplier")
 	)
@@ -45,6 +45,7 @@ func main() {
 		{"D1", "Dynamic MIS: localized repair vs per-update recompute", runD1},
 		{"D2", "Dynamic MIS: repair cost across update-stream classes", runD2},
 		{"B1", "Benchmark harness: quick suites (twin of BENCH_MIS.json)", runB1},
+		{"G1", "Unit-disk sensor field: fixed radius, growing density", runG1},
 	}
 
 	want := map[string]bool{}
@@ -68,7 +69,7 @@ func main() {
 		ran++
 	}
 	if ran == 0 {
-		fmt.Fprintln(os.Stderr, "no experiments matched; use -e all or E1..E10, A1..A4, D1..D2, B1")
+		fmt.Fprintln(os.Stderr, "no experiments matched; use -e all or E1..E10, A1..A4, D1..D2, B1, G1")
 		os.Exit(1)
 	}
 }

@@ -9,6 +9,9 @@ package energymis
 import (
 	"bytes"
 	"testing"
+
+	"github.com/energymis/energymis/internal/luby"
+	"github.com/energymis/energymis/internal/sim"
 )
 
 var determinismWorkers = []int{1, 2, 8}
@@ -51,6 +54,43 @@ func TestStaticExecutorDeterminism(t *testing.T) {
 				if res.AwakePerNode[v] != ref.AwakePerNode[v] {
 					t.Fatalf("%v workers=%d: awake[%d] = %d, sequential %d",
 						algo, w, v, res.AwakePerNode[v], ref.AwakePerNode[v])
+				}
+			}
+		}
+	}
+}
+
+// TestBatchVsLegacyLubyDeterminism cross-checks the two runtimes: the
+// struct-of-arrays Luby on the batch engine (what energymis.Luby runs)
+// against the per-node Machine on the per-node engine, for every worker
+// count. Output sets, all counters, and per-node energy must be
+// byte-identical — the batch runtime is an execution strategy, not an
+// algorithm change.
+func TestBatchVsLegacyLubyDeterminism(t *testing.T) {
+	for _, n := range []int{300, 1000} {
+		g := GNP(n, 10.0/float64(n), uint64(n)+17)
+		refSet, refRes, err := luby.RunLegacy(g, sim.Config{Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range determinismWorkers {
+			set, res, err := luby.Run(g, sim.Config{Seed: 9, Workers: w})
+			if err != nil {
+				t.Fatalf("n=%d workers=%d: %v", n, w, err)
+			}
+			if !bytes.Equal(insetBytes(set), insetBytes(refSet)) {
+				t.Fatalf("n=%d workers=%d: batch MIS differs from legacy", n, w)
+			}
+			if res.Rounds != refRes.Rounds || res.MsgsSent != refRes.MsgsSent ||
+				res.MsgsDropped != refRes.MsgsDropped || res.BitsTotal != refRes.BitsTotal ||
+				res.BitsMax != refRes.BitsMax || res.Violations != refRes.Violations {
+				t.Fatalf("n=%d workers=%d: counters differ\n legacy: %+v\n batch:  %+v",
+					n, w, refRes, res)
+			}
+			for v := range res.Awake {
+				if res.Awake[v] != refRes.Awake[v] {
+					t.Fatalf("n=%d workers=%d: awake[%d] = %d, legacy %d",
+						n, w, v, res.Awake[v], refRes.Awake[v])
 				}
 			}
 		}

@@ -13,6 +13,21 @@ func GNP(n int, p float64, seed uint64) *Graph { return graph.GNP(n, p, seed) }
 // networks that motivate the energy measure.
 func RGG(n int, avgDeg float64, seed uint64) *Graph { return graph.RGG(n, avgDeg, seed) }
 
+// RandomGeometric samples a unit-disk graph with an explicit communication
+// radius: n points uniform in the unit square, connected when within
+// radius. Unlike RGG, which rescales the radius to hold expected degree
+// constant, a fixed radius models sensors with fixed transmission range —
+// degree grows with deployment density.
+func RandomGeometric(n int, radius float64, seed uint64) *Graph {
+	return graph.RandomGeometric(n, radius, seed)
+}
+
+// RadiusForAvgDegree returns the RandomGeometric radius at which the
+// expected average degree over n unit-square points is avgDeg.
+func RadiusForAvgDegree(n int, avgDeg float64) float64 {
+	return graph.RadiusForAvgDegree(n, avgDeg)
+}
+
 // BarabasiAlbert grows a preferential-attachment graph with m edges per
 // new node (heavy-tailed degrees).
 func BarabasiAlbert(n, m int, seed uint64) *Graph { return graph.BarabasiAlbert(n, m, seed) }

@@ -57,6 +57,15 @@ type Timing struct {
 	// NSPerAwakeNodeRound = MinNS / AwakeTotal: the gated throughput
 	// metric (min over reps is the least noise-sensitive estimator).
 	NSPerAwakeNodeRound float64 `json:"ns_per_awake_node_round"`
+	// AllocsPerAwakeNodeRound = AllocsPerOp / AwakeTotal: the gated
+	// allocation metric — heap allocations per simulated awake node-round
+	// (≈ 0 in steady state on the batch runtime).
+	AllocsPerAwakeNodeRound float64 `json:"allocs_per_awake_node_round"`
+	// RunsPerSec and AllocsPerRun are set for throughput-suite cases
+	// (metrics carry extra["runs"]): simulations completed per second of
+	// wall time, and allocations per simulation.
+	RunsPerSec   float64 `json:"runs_per_sec,omitempty"`
+	AllocsPerRun float64 `json:"allocs_per_run,omitempty"`
 }
 
 // CaseResult is one suite case's measurements.
@@ -162,6 +171,11 @@ func Measure(spec Spec, reps int) (CaseResult, error) {
 	t.BytesPerOp = float64(after.TotalAlloc-before.TotalAlloc) / k
 	if m.AwakeTotal > 0 {
 		t.NSPerAwakeNodeRound = t.MinNS / float64(m.AwakeTotal)
+		t.AllocsPerAwakeNodeRound = t.AllocsPerOp / float64(m.AwakeTotal)
+	}
+	if runs := m.Extra["runs"]; runs > 0 {
+		t.RunsPerSec = runs * 1e9 / t.MinNS
+		t.AllocsPerRun = t.AllocsPerOp / runs
 	}
 	return CaseResult{Suite: spec.Suite, Name: spec.Name, Metrics: m, Timing: t}, nil
 }

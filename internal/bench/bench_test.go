@@ -195,3 +195,60 @@ func TestHarnessSmoke(t *testing.T) {
 		t.Fatalf("no throughput metric: %+v", res.Timing)
 	}
 }
+
+func caseWithAllocs(ns float64, awake int64, allocsPerOp float64) CaseResult {
+	c := caseWithNS("s", "a", ns, awake)
+	c.Timing.AllocsPerOp = allocsPerOp
+	c.Timing.AllocsPerAwakeNodeRound = allocsPerOp / float64(awake)
+	return c
+}
+
+func TestCompareGatesOnAllocsPerAwakeNodeRound(t *testing.T) {
+	old := &Report{SchemaVersion: SchemaVersion, Cases: []CaseResult{caseWithAllocs(1000, 1000, 1000)}}
+
+	// +20% allocs: inside the 30% budget.
+	cur := &Report{SchemaVersion: SchemaVersion, Cases: []CaseResult{caseWithAllocs(1000, 1000, 1200)}}
+	c, err := Compare(old, cur, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Regressed() {
+		t.Fatalf("+20%% allocs flagged at 30%% threshold: %+v", c.Regressions)
+	}
+
+	// +50% allocs and above the absolute slack: regression.
+	cur.Cases[0] = caseWithAllocs(1000, 1000, 1500)
+	c, err = Compare(old, cur, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Regressed() || c.Regressions[0].Metric != GatedAllocMetric {
+		t.Fatalf("+50%% allocs not flagged: %+v", c)
+	}
+
+	// Near-zero baseline: a relative blow-up below the absolute slack must
+	// not fail the gate (noise around the batch runtime's ~0 allocs).
+	old.Cases[0] = caseWithAllocs(1000, 100000, 10) // 1e-4 allocs/awake-node-round
+	cur.Cases[0] = caseWithAllocs(1000, 100000, 100)
+	c, err = Compare(old, cur, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Regressed() {
+		t.Fatalf("sub-slack alloc noise flagged: %+v", c.Regressions)
+	}
+
+	// Baseline without the derived field: it is reconstructed from
+	// allocs_per_op / awake_total, so the gate still applies.
+	legacy := caseWithNS("s", "a", 1000, 1000)
+	legacy.Timing.AllocsPerOp = 1000
+	old.Cases[0] = legacy
+	cur.Cases[0] = caseWithAllocs(1000, 1000, 2000)
+	c, err = Compare(old, cur, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Regressed() || c.Regressions[0].Metric != GatedAllocMetric {
+		t.Fatalf("legacy-baseline alloc regression not flagged: %+v", c)
+	}
+}

@@ -6,14 +6,28 @@ import (
 	"sort"
 )
 
-// GatedMetric is the metric the CI perf gate thresholds: a case regresses
-// when its ns/awake-node-round exceeds the baseline's by more than the
-// configured fraction.
+// GatedMetric is the primary metric the CI perf gate thresholds: a case
+// regresses when its ns/awake-node-round exceeds the baseline's by more
+// than the configured fraction.
 const GatedMetric = "ns_per_awake_node_round"
 
 // DefaultThreshold is the regression budget the gate applies when none is
 // configured: 20% on the gated metric.
 const DefaultThreshold = 0.20
+
+// GatedAllocMetric is the second gated metric: heap allocations per
+// simulated awake node-round. The batch runtime holds it near zero in
+// steady state, so a relative threshold alone would trip on noise around
+// tiny baselines — a case only regresses when it exceeds the baseline by
+// more than AllocThreshold *and* by more than AllocSlack absolute.
+const GatedAllocMetric = "allocs_per_awake_node_round"
+
+// AllocThreshold is the relative regression budget on GatedAllocMetric.
+const AllocThreshold = 0.30
+
+// AllocSlack is the absolute allocs-per-awake-node-round a case may gain
+// before the relative threshold applies.
+const AllocSlack = 0.05
 
 // Delta is one per-case, per-metric difference between two reports.
 type Delta struct {
@@ -86,6 +100,22 @@ func Compare(old, cur *Report, threshold float64) (*Comparison, error) {
 			c.Regressions = append(c.Regressions, gated)
 		}
 
+		oldAllocs := oc.Timing.AllocsPerAwakeNodeRound
+		if oldAllocs == 0 && oc.Metrics.AwakeTotal > 0 {
+			// Baseline predates the field: derive it from the raw counters.
+			oldAllocs = oc.Timing.AllocsPerOp / float64(oc.Metrics.AwakeTotal)
+		}
+		alloc := Delta{
+			Case: key, Metric: GatedAllocMetric, Gated: true,
+			Old: oldAllocs,
+			New: nc.Timing.AllocsPerAwakeNodeRound,
+		}
+		alloc.Pct = pct(alloc.Old, alloc.New)
+		c.Deltas = append(c.Deltas, alloc)
+		if alloc.New > alloc.Old*(1+AllocThreshold) && alloc.New-alloc.Old > AllocSlack {
+			c.Regressions = append(c.Regressions, alloc)
+		}
+
 		info := []Delta{
 			{Case: key, Metric: "min_ns", Old: oc.Timing.MinNS, New: nc.Timing.MinNS},
 			{Case: key, Metric: "allocs_per_op", Old: oc.Timing.AllocsPerOp, New: nc.Timing.AllocsPerOp},
@@ -121,19 +151,26 @@ func Compare(old, cur *Report, threshold float64) (*Comparison, error) {
 	return c, nil
 }
 
-// Format writes the comparison as a human-readable table: the gated metric
-// per matched case, regressions and counter drift called out.
+// Format writes the comparison as a human-readable table: both gated
+// metrics per matched case, regressions and counter drift called out.
 func (c *Comparison) Format(w io.Writer) {
-	fmt.Fprintf(w, "%-44s %14s %14s %8s\n", "case ("+GatedMetric+")", "baseline", "current", "delta")
-	for _, d := range c.Deltas {
-		if !d.Gated {
-			continue
+	regressed := map[string]bool{}
+	for _, d := range c.Regressions {
+		regressed[d.Case+"/"+d.Metric] = true
+	}
+	for _, metric := range []string{GatedMetric, GatedAllocMetric} {
+		fmt.Fprintf(w, "%-44s %14s %14s %8s\n", "case ("+metric+")", "baseline", "current", "delta")
+		for _, d := range c.Deltas {
+			if !d.Gated || d.Metric != metric {
+				continue
+			}
+			mark := ""
+			if regressed[d.Case+"/"+d.Metric] {
+				mark = "  REGRESSION"
+			}
+			fmt.Fprintf(w, "%-44s %14.2f %14.2f %+7.1f%%%s\n", d.Case, d.Old, d.New, d.Pct, mark)
 		}
-		mark := ""
-		if d.Old > 0 && d.New > d.Old*(1+c.Threshold) {
-			mark = "  REGRESSION"
-		}
-		fmt.Fprintf(w, "%-44s %14.2f %14.2f %+7.1f%%%s\n", d.Case, d.Old, d.New, d.Pct, mark)
+		fmt.Fprintln(w)
 	}
 	if len(c.CounterDrift) > 0 {
 		fmt.Fprintf(w, "\ncounter drift (simulated work changed):\n")
@@ -148,9 +185,10 @@ func (c *Comparison) Format(w io.Writer) {
 		fmt.Fprintf(w, "\nnew cases (no baseline): %v\n", c.OnlyNew)
 	}
 	if c.Regressed() {
-		fmt.Fprintf(w, "\nFAIL: %d case(s) regressed more than %.0f%% on %s\n",
-			len(c.Regressions), c.Threshold*100, GatedMetric)
+		fmt.Fprintf(w, "\nFAIL: %d regression(s) beyond the budget (%.0f%% on %s; %.0f%%+%.2f on %s)\n",
+			len(c.Regressions), c.Threshold*100, GatedMetric, AllocThreshold*100, AllocSlack, GatedAllocMetric)
 	} else {
-		fmt.Fprintf(w, "\nOK: %d case(s) within the %.0f%% budget\n", c.Matched, c.Threshold*100)
+		fmt.Fprintf(w, "\nOK: %d case(s) within the %.0f%% / %.0f%% budgets\n",
+			c.Matched, c.Threshold*100, AllocThreshold*100)
 	}
 }

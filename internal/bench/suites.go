@@ -11,25 +11,41 @@ import (
 // suite flagged Quick — the *same cases with the same sizes and seeds* as
 // the full run, so quick reports compare cleanly against a full baseline.
 const (
-	SuiteStatic  = "static"  // static MIS runs: graph families × sizes × algorithms
-	SuiteDynamic = "dynamic" // churn workloads through the dynamic repair engine
-	SuiteScaling = "scaling" // parallel-executor scaling, 1 → N workers
+	SuiteStatic     = "static"     // static MIS runs: graph families × sizes × algorithms
+	SuiteDynamic    = "dynamic"    // churn workloads through the dynamic repair engine
+	SuiteScaling    = "scaling"    // parallel-executor scaling, 1 → N workers
+	SuiteThroughput = "throughput" // M independent runs across a worker pool (runs/sec)
 )
 
 // SuiteNames lists every suite in canonical order.
-func SuiteNames() []string { return []string{SuiteStatic, SuiteDynamic, SuiteScaling} }
+func SuiteNames() []string {
+	return []string{SuiteStatic, SuiteDynamic, SuiteScaling, SuiteThroughput}
+}
 
-// lazyGraph builds a generator's graph on first use and caches it, so
-// constructing specs (e.g. for -list) costs nothing and repeated reps
-// don't re-generate topology: the harness times the simulation, not the
-// generator.
-func lazyGraph(gen func() *energymis.Graph) func() *energymis.Graph {
-	var once sync.Once
-	var g *energymis.Graph
-	return func() *energymis.Graph {
-		once.Do(func() { g = gen() })
-		return g
-	}
+// The benchmark topologies, each defined exactly once so every suite that
+// names the same (family, n) measures the same instance via the shared
+// graph cache.
+
+func gnpGraph(n int) func() *energymis.Graph {
+	return cachedGraph(fmt.Sprintf("gnp/n=%d/avgdeg=10/seed=%d", n, n),
+		func() *energymis.Graph { return energymis.GNP(n, 10.0/float64(n), uint64(n)) })
+}
+
+func rggGraph(n int) func() *energymis.Graph {
+	return cachedGraph(fmt.Sprintf("rgg/n=%d/avgdeg=10/seed=%d", n, n),
+		func() *energymis.Graph { return energymis.RGG(n, 10.0, uint64(n)) })
+}
+
+// udgGraph uses a fixed 0.025 communication radius: degree grows with
+// density (≈8 at n=4096, ≈32 at n=16384) — the sensor-field scenario.
+func udgGraph(n int) func() *energymis.Graph {
+	return cachedGraph(fmt.Sprintf("udg/n=%d/r=0.025/seed=%d", n, n),
+		func() *energymis.Graph { return energymis.RandomGeometric(n, 0.025, uint64(n)) })
+}
+
+func baGraph(n int) func() *energymis.Graph {
+	return cachedGraph(fmt.Sprintf("ba/n=%d/m=5/seed=%d", n, n),
+		func() *energymis.Graph { return energymis.BarabasiAlbert(n, 5, uint64(n)) })
 }
 
 // FromResult converts a static run's Result into harness metrics. It is
@@ -140,7 +156,7 @@ func Specs(suites []string, quick bool) ([]Spec, error) {
 	if len(suites) == 0 {
 		suites = SuiteNames()
 	}
-	known := map[string]bool{SuiteStatic: true, SuiteDynamic: true, SuiteScaling: true}
+	known := map[string]bool{SuiteStatic: true, SuiteDynamic: true, SuiteScaling: true, SuiteThroughput: true}
 	for _, s := range suites {
 		if !known[s] {
 			return nil, fmt.Errorf("bench: unknown suite %q (have %v)", s, SuiteNames())
@@ -155,15 +171,10 @@ func Specs(suites []string, quick bool) ([]Spec, error) {
 		name string
 		gen  func(n int) func() *energymis.Graph
 	}{
-		{"gnp", func(n int) func() *energymis.Graph {
-			return lazyGraph(func() *energymis.Graph { return energymis.GNP(n, 10.0/float64(n), uint64(n)) })
-		}},
-		{"rgg", func(n int) func() *energymis.Graph {
-			return lazyGraph(func() *energymis.Graph { return energymis.RGG(n, 10.0, uint64(n)) })
-		}},
-		{"ba", func(n int) func() *energymis.Graph {
-			return lazyGraph(func() *energymis.Graph { return energymis.BarabasiAlbert(n, 5, uint64(n)) })
-		}},
+		{"gnp", gnpGraph},
+		{"rgg", rggGraph},
+		{"udg", udgGraph},
+		{"ba", baGraph},
 	}
 	for _, fam := range families {
 		for _, n := range []int{4096, 16384} {
@@ -197,13 +208,20 @@ func Specs(suites []string, quick bool) ([]Spec, error) {
 
 	// --- scaling: the parallel executor from 1 to N workers ---
 	{
-		n := 20000
-		g := lazyGraph(func() *energymis.Graph { return energymis.GNP(n, 10.0/float64(n), uint64(n)) })
+		g := gnpGraph(20000)
 		for _, w := range []int{1, 2, 4, 8} {
 			q := w == 1 || w == 4
-			specs = append(specs, staticSpec("scaling", g, n, energymis.Luby, w, q))
+			specs = append(specs, staticSpec("scaling", g, 20000, energymis.Luby, w, q))
 		}
 	}
+
+	// --- throughput: many independent runs over the worker-pool executor ---
+	specs = append(specs,
+		throughputSpec("luby/gnp/n=4096/runs=32", true, gnpGraph(4096), energymis.Luby, 32),
+		throughputSpec("algorithm1/gnp/n=4096/runs=8", true, gnpGraph(4096), energymis.Algorithm1, 8),
+		throughputSpec("luby/gnp/n=16384/runs=8", false, gnpGraph(16384), energymis.Luby, 8),
+		throughputSpec("luby/udg/n=4096/runs=16", false, udgGraph(4096), energymis.Luby, 16),
+	)
 
 	var out []Spec
 	for _, s := range specs {

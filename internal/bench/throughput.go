@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	energymis "github.com/energymis/energymis"
+	"github.com/energymis/energymis/internal/core"
+	"github.com/energymis/energymis/internal/sim"
+)
+
+// The throughput executor models the scenario-sweep workload the ROADMAP
+// targets — many users running many independent simulations — as a gated
+// benchmark: M runs of the same (graph, algorithm) with seeds 1..M execute
+// concurrently over a worker pool. Each worker owns one pooled sim.Mem, so
+// engine buffers are allocated once per worker and reused for every run it
+// picks up, and all workers share one prebuilt graph (the graph cache keeps
+// construction out of the measurement). Aggregate counters are sums over
+// the fixed seed set, so they are deterministic and order-independent —
+// the report's ns/awake-node-round stays comparable across hosts, and
+// runs/sec plus allocs/run land in BENCH_MIS.json next to it.
+
+// ThroughputOptions configures one multi-run case.
+type ThroughputOptions struct {
+	Runs    int // number of independent simulations (seeds 1..Runs)
+	Workers int // worker-pool width; 0 = GOMAXPROCS
+}
+
+// RunThroughput executes opts.Runs independent simulations of algo on g
+// across the worker pool and returns the summed deterministic counters.
+func RunThroughput(g *energymis.Graph, algo energymis.Algorithm, opts ThroughputOptions) (Metrics, error) {
+	if opts.Runs < 1 {
+		return Metrics{}, fmt.Errorf("bench: throughput needs Runs >= 1, got %d", opts.Runs)
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > opts.Runs {
+		workers = opts.Runs
+	}
+
+	var next atomic.Int64
+	partial := make([]Metrics, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			adv := core.DefaultOptions()
+			adv.Mem = sim.NewMem() // pooled engine buffers, one per worker
+			acc := &partial[w]
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(opts.Runs) {
+					return
+				}
+				res, err := energymis.Run(g, algo, energymis.Options{
+					Seed:     uint64(i) + 1,
+					Advanced: &adv,
+				})
+				if err != nil {
+					errs[w] = fmt.Errorf("bench: throughput run %d: %w", i, err)
+					return
+				}
+				m := FromResult(res)
+				acc.Rounds += m.Rounds
+				acc.AwakeTotal += m.AwakeTotal
+				acc.Messages += m.Messages
+				acc.MessagesDropped += m.MessagesDropped
+				acc.BitsTotal += m.BitsTotal
+				acc.MISSize += m.MISSize
+				if m.AwakeMax > acc.AwakeMax {
+					acc.AwakeMax = m.AwakeMax
+				}
+				if m.BitsMax > acc.BitsMax {
+					acc.BitsMax = m.BitsMax
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return Metrics{}, err
+		}
+	}
+
+	var total Metrics
+	for w := range partial {
+		p := &partial[w]
+		total.Rounds += p.Rounds
+		total.AwakeTotal += p.AwakeTotal
+		total.Messages += p.Messages
+		total.MessagesDropped += p.MessagesDropped
+		total.BitsTotal += p.BitsTotal
+		total.MISSize += p.MISSize
+		if p.AwakeMax > total.AwakeMax {
+			total.AwakeMax = p.AwakeMax
+		}
+		if p.BitsMax > total.BitsMax {
+			total.BitsMax = p.BitsMax
+		}
+	}
+	if total.AwakeTotal > 0 {
+		total.AwakeAvg = float64(total.AwakeTotal) / float64(int64(g.N())*int64(opts.Runs))
+	}
+	total.Extra = map[string]float64{
+		"runs":    float64(opts.Runs),
+		"workers": float64(workers),
+	}
+	return total, nil
+}
+
+// graphCache shares prebuilt graphs across suite cases and reps, keyed by a
+// family/size/seed string: the harness times simulations, never generators,
+// and cases over the same topology (static vs throughput) reuse one
+// instance.
+var graphCache sync.Map // string -> *energymis.Graph
+
+func cachedGraph(key string, gen func() *energymis.Graph) func() *energymis.Graph {
+	return func() *energymis.Graph {
+		if g, ok := graphCache.Load(key); ok {
+			return g.(*energymis.Graph)
+		}
+		g, _ := graphCache.LoadOrStore(key, gen())
+		return g.(*energymis.Graph)
+	}
+}
+
+func throughputSpec(name string, quick bool, g func() *energymis.Graph, algo energymis.Algorithm, runs int) Spec {
+	return Spec{
+		Suite: SuiteThroughput,
+		Name:  name,
+		Quick: quick,
+		Run: func() (Metrics, error) {
+			return RunThroughput(g(), algo, ThroughputOptions{Runs: runs})
+		},
+	}
+}

@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"testing"
+
+	energymis "github.com/energymis/energymis"
+)
+
+// TestThroughputDeterministicAcrossPoolWidths: the aggregate counters are
+// sums over a fixed seed set, so they must not depend on worker count or
+// scheduling — and a single-worker pool must agree with serial execution.
+func TestThroughputDeterministicAcrossPoolWidths(t *testing.T) {
+	g := energymis.GNP(500, 10.0/500, 1)
+	const runs = 12
+
+	// Serial reference: the same seeds run one by one without the pool.
+	var ref Metrics
+	for i := 0; i < runs; i++ {
+		res, err := energymis.Run(g, energymis.Luby, energymis.Options{Seed: uint64(i) + 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := FromResult(res)
+		ref.Rounds += m.Rounds
+		ref.AwakeTotal += m.AwakeTotal
+		ref.Messages += m.Messages
+		ref.MessagesDropped += m.MessagesDropped
+		ref.BitsTotal += m.BitsTotal
+		ref.MISSize += m.MISSize
+		if m.AwakeMax > ref.AwakeMax {
+			ref.AwakeMax = m.AwakeMax
+		}
+	}
+
+	for _, workers := range []int{1, 2, 4, 13} {
+		got, err := RunThroughput(g, energymis.Luby, ThroughputOptions{Runs: runs, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got.Rounds != ref.Rounds || got.AwakeTotal != ref.AwakeTotal ||
+			got.Messages != ref.Messages || got.MessagesDropped != ref.MessagesDropped ||
+			got.BitsTotal != ref.BitsTotal || got.MISSize != ref.MISSize ||
+			got.AwakeMax != ref.AwakeMax {
+			t.Fatalf("workers=%d: aggregate counters differ\n serial: %+v\n pool:   %+v",
+				workers, ref, got)
+		}
+		if got.Extra["runs"] != runs {
+			t.Fatalf("workers=%d: extra runs = %v", workers, got.Extra["runs"])
+		}
+	}
+}
+
+func TestThroughputRejectsZeroRuns(t *testing.T) {
+	g := energymis.GNP(50, 0.1, 1)
+	if _, err := RunThroughput(g, energymis.Luby, ThroughputOptions{}); err == nil {
+		t.Fatal("expected error for Runs = 0")
+	}
+}
+
+// TestThroughputSuiteSpecsMeasure runs the quick throughput specs end to
+// end through Measure and checks the derived report fields land.
+func TestThroughputSuiteSpecsMeasure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput cases are slow in -short mode")
+	}
+	specs, err := Specs([]string{SuiteThroughput}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) == 0 {
+		t.Fatal("no quick throughput specs")
+	}
+	res, err := Measure(specs[0], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Timing.RunsPerSec <= 0 {
+		t.Fatalf("RunsPerSec = %v, want > 0", res.Timing.RunsPerSec)
+	}
+	if res.Timing.AllocsPerRun <= 0 {
+		t.Fatalf("AllocsPerRun = %v, want > 0 (Result construction allocates)", res.Timing.AllocsPerRun)
+	}
+	if res.Timing.AllocsPerAwakeNodeRound < 0 {
+		t.Fatalf("AllocsPerAwakeNodeRound = %v", res.Timing.AllocsPerAwakeNodeRound)
+	}
+	if res.Metrics.AwakeTotal <= 0 {
+		t.Fatalf("AwakeTotal = %v", res.Metrics.AwakeTotal)
+	}
+}

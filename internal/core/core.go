@@ -80,6 +80,11 @@ type Options struct {
 	Seed    uint64
 	Workers int // parallel executor width (0/1 = sequential)
 	B       int // CONGEST budget override (0 = 4·ceil(log2 n))
+	// Mem supplies pooled engine buffers reused across phases and runs
+	// (see sim.Mem). A Mem must not be shared by concurrent runs; nil
+	// allocates per run. Used by the throughput executor to make repeated
+	// simulations allocation-free in steady state.
+	Mem *sim.Mem
 
 	Phase1   phase1.Params
 	DegRed   degreduce.Params
@@ -161,6 +166,7 @@ func (o Options) simCfg(phase uint64) sim.Config {
 		Seed:    o.Seed ^ (phase * 0x9e3779b97f4a7c15),
 		Workers: o.Workers,
 		B:       o.B,
+		Mem:     o.Mem,
 	}
 }
 

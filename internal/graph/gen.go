@@ -35,6 +35,15 @@ func max(a, b int) int {
 	return b
 }
 
+func contains32(s []int32, x int32) bool {
+	for _, v := range s {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
 func intSqrt(n int) int {
 	r := int(math.Sqrt(float64(n)))
 	if r < 1 {
@@ -79,6 +88,26 @@ func GNP(n int, p float64, seed uint64) *Graph {
 // average degree is avgDeg. This models the sensor/wireless networks that
 // motivate the energy measure.
 func RGG(n int, avgDeg float64, seed uint64) *Graph {
+	return RandomGeometric(n, RadiusForAvgDegree(n, avgDeg), seed)
+}
+
+// RadiusForAvgDegree returns the connection radius at which a unit-square
+// geometric graph on n points has expected average degree avgDeg:
+// E[deg] = (n-1)·π·r²  ⇒  r = sqrt(avgDeg / ((n-1)·π)).
+func RadiusForAvgDegree(n int, avgDeg float64) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return math.Sqrt(avgDeg / (float64(n-1) * math.Pi))
+}
+
+// RandomGeometric samples a unit-disk graph with an explicit communication
+// radius: n points uniform in the unit square, connected when within
+// radius. Unlike RGG, which rescales the radius to hold the expected
+// degree constant, a fixed radius models sensor hardware with a fixed
+// transmission range — node density (and so degree, contention, and the
+// value of low-energy MIS) grows with the deployment size.
+func RandomGeometric(n int, radius float64, seed uint64) *Graph {
 	r := rng.New(seed)
 	xs := make([]float64, n)
 	ys := make([]float64, n)
@@ -86,10 +115,9 @@ func RGG(n int, avgDeg float64, seed uint64) *Graph {
 		xs[i] = r.Float64()
 		ys[i] = r.Float64()
 	}
-	// E[deg] = (n-1) * pi * rad^2  =>  rad = sqrt(avgDeg / ((n-1) pi)).
-	rad := 0.0
-	if n > 1 {
-		rad = math.Sqrt(avgDeg / (float64(n-1) * math.Pi))
+	rad := radius
+	if rad < 0 {
+		rad = 0
 	}
 	// Grid-bucket the points for near-linear neighbor search.
 	cell := rad
@@ -155,8 +183,12 @@ func BarabasiAlbert(n, m int, seed uint64) *Graph {
 			targets = append(targets, int32(u), int32(v))
 		}
 	}
+	chosen := make([]int32, 0, m)
 	for v := core; v < n; v++ {
-		chosen := make(map[int32]bool, m)
+		// Draw distinct targets into a slice (not a map: map iteration
+		// order would leak into the targets list and make the graph differ
+		// between processes despite the fixed seed).
+		chosen = chosen[:0]
 		for len(chosen) < m {
 			var t int32
 			if len(targets) == 0 {
@@ -164,9 +196,11 @@ func BarabasiAlbert(n, m int, seed uint64) *Graph {
 			} else {
 				t = targets[r.Intn(len(targets))]
 			}
-			chosen[t] = true
+			if !contains32(chosen, t) {
+				chosen = append(chosen, t)
+			}
 		}
-		for t := range chosen {
+		for _, t := range chosen {
 			b.AddEdge(v, int(t))
 			targets = append(targets, int32(v), t)
 		}

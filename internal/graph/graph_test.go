@@ -388,3 +388,93 @@ func TestPort(t *testing.T) {
 		t.Fatalf("Port(1,2) = %d, want -1 (no edge)", p)
 	}
 }
+
+func TestRandomGeometricDeterministicAndValid(t *testing.T) {
+	a := RandomGeometric(500, 0.05, 9)
+	b := RandomGeometric(500, 0.05, 9)
+	if a.N() != b.N() || a.M() != b.M() {
+		t.Fatalf("same seed differs: %d/%d edges", a.M(), b.M())
+	}
+	for v := 0; v < a.N(); v++ {
+		av, bv := a.Neighbors(v), b.Neighbors(v)
+		if len(av) != len(bv) {
+			t.Fatalf("node %d adjacency differs", v)
+		}
+		for i := range av {
+			if av[i] != bv[i] {
+				t.Fatalf("node %d adjacency differs at %d", v, i)
+			}
+		}
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c := RandomGeometric(500, 0.05, 10); c.M() == a.M() {
+		t.Logf("different seeds gave equal edge counts (possible, suspicious): %d", a.M())
+	}
+}
+
+func TestRandomGeometricDensityScalesWithN(t *testing.T) {
+	// Fixed radius: expected degree is (n-1)·π·r², so doubling n roughly
+	// doubles the average degree — the sensor-field scenario RGG hides.
+	const rad = 0.04
+	small := RandomGeometric(2000, rad, 3)
+	large := RandomGeometric(4000, rad, 3)
+	want := func(n int) float64 { return float64(n-1) * math.Pi * rad * rad }
+	if d := small.AvgDegree(); d < 0.7*want(2000) || d > 1.3*want(2000) {
+		t.Fatalf("n=2000 avg degree %.2f, expected ≈%.2f", d, want(2000))
+	}
+	if d := large.AvgDegree(); d < 0.7*want(4000) || d > 1.3*want(4000) {
+		t.Fatalf("n=4000 avg degree %.2f, expected ≈%.2f", d, want(4000))
+	}
+	if large.AvgDegree() < 1.5*small.AvgDegree() {
+		t.Fatalf("density did not scale: %.2f -> %.2f", small.AvgDegree(), large.AvgDegree())
+	}
+}
+
+func TestRandomGeometricEdgeCases(t *testing.T) {
+	if g := RandomGeometric(100, 0, 1); g.M() != 0 {
+		t.Fatalf("radius 0 produced %d edges", g.M())
+	}
+	if g := RandomGeometric(100, -1, 1); g.M() != 0 {
+		t.Fatalf("negative radius produced %d edges", g.M())
+	}
+	if g := RandomGeometric(0, 0.1, 1); g.N() != 0 {
+		t.Fatalf("n=0 produced %d nodes", g.N())
+	}
+	if g := RandomGeometric(50, 2, 1); g.M() != 50*49/2 {
+		t.Fatalf("radius covering the square should give a clique, got %d edges", g.M())
+	}
+}
+
+func TestRGGMatchesRandomGeometricAtDerivedRadius(t *testing.T) {
+	n, avg := 800, 9.0
+	a := RGG(n, avg, 4)
+	b := RandomGeometric(n, RadiusForAvgDegree(n, avg), 4)
+	if a.M() != b.M() {
+		t.Fatalf("RGG and RandomGeometric at derived radius differ: %d vs %d edges", a.M(), b.M())
+	}
+}
+
+func TestBarabasiAlbertDeterministic(t *testing.T) {
+	// Regression test: the target list used for preferential attachment
+	// once depended on map iteration order, so two builds with the same
+	// seed produced different graphs (and the bench counter-drift report
+	// flagged phantom changes on every run).
+	a := BarabasiAlbert(2000, 4, 3)
+	b := BarabasiAlbert(2000, 4, 3)
+	if a.M() != b.M() {
+		t.Fatalf("edge counts differ: %d vs %d", a.M(), b.M())
+	}
+	for v := 0; v < a.N(); v++ {
+		av, bv := a.Neighbors(v), b.Neighbors(v)
+		if len(av) != len(bv) {
+			t.Fatalf("node %d degree differs", v)
+		}
+		for i := range av {
+			if av[i] != bv[i] {
+				t.Fatalf("node %d adjacency differs at position %d", v, i)
+			}
+		}
+	}
+}

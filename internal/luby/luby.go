@@ -15,9 +15,6 @@
 package luby
 
 import (
-	"fmt"
-
-	"github.com/energymis/energymis/internal/graph"
 	"github.com/energymis/energymis/internal/sim"
 )
 
@@ -131,25 +128,6 @@ func (m *Machine) Deliver(round int, inbox []sim.Msg) int {
 		}
 		return round + 1
 	}
-}
-
-// Run executes Luby's algorithm on g and returns the MIS and the engine
-// result.
-func Run(g *graph.Graph, cfg sim.Config) ([]bool, *sim.Result, error) {
-	machines := make([]sim.Machine, g.N())
-	nodes := make([]Machine, g.N())
-	for v := range machines {
-		machines[v] = &nodes[v]
-	}
-	res, err := sim.Run(g, machines, cfg)
-	if err != nil {
-		return nil, nil, fmt.Errorf("luby: %w", err)
-	}
-	inSet := make([]bool, g.N())
-	for v := range nodes {
-		inSet[v] = nodes[v].InMIS
-	}
-	return inSet, res, nil
 }
 
 func bitsFor(n int) int {

@@ -31,7 +31,6 @@ import (
 	"github.com/energymis/energymis/internal/graph"
 	"github.com/energymis/energymis/internal/schedule"
 	"github.com/energymis/energymis/internal/sim"
-	"github.com/energymis/energymis/internal/verify"
 )
 
 // Message kinds.
@@ -86,25 +85,16 @@ func PlanExplicit(iters, roundsPerIter, maxDeg int) Plan {
 	return Plan{Iterations: iters, RoundsPerIter: roundsPerIter, T: iters * roundsPerIter, MaxDegree: maxDeg}
 }
 
-// RunWithPlan executes the phase on g under an explicit timetable.
+// RunWithPlan executes the phase on g under an explicit timetable. It runs
+// the struct-of-arrays automaton on the batch runtime; results are
+// byte-identical to RunWithPlanLegacy (the per-node reference).
 func RunWithPlan(g *graph.Graph, plan Plan, p Params, cfg sim.Config) (*Outcome, error) {
-	machines, nodes := NewMachines(g, plan, p)
-	res, err := sim.Run(g, machines, cfg)
+	b := NewBatch(g, plan, p)
+	res, err := sim.RunBatch(g, b, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("phase1: %w", err)
 	}
-	out := &Outcome{InSet: make([]bool, g.N()), Plan: plan, Res: res}
-	for v, nm := range nodes {
-		out.InSet[v] = nm.InMIS
-		if nm.Sampled() {
-			out.Sampled++
-		}
-		if nm.Spoiled() {
-			out.Spoiled++
-		}
-	}
-	out.Residual = verify.Residual(g, out.InSet)
-	return out, nil
+	return b.outcome(res), nil
 }
 
 // MakePlan computes the timetable for an n-node graph with maximum degree

@@ -30,6 +30,11 @@ func splitMix64(x *uint64) uint64 {
 
 // New returns a stream seeded from seed.
 func New(seed uint64) *Stream {
+	st := fromSeed(seed)
+	return &st
+}
+
+func fromSeed(seed uint64) Stream {
 	var st Stream
 	x := seed
 	for i := range st.s {
@@ -40,16 +45,25 @@ func New(seed uint64) *Stream {
 	if st.s[0]|st.s[1]|st.s[2]|st.s[3] == 0 {
 		st.s[0] = 0x9e3779b97f4a7c15
 	}
-	return &st
+	return st
 }
 
 // NewForNode derives the stream for node id under the given global seed.
 // Distinct (seed, id) pairs yield statistically independent streams.
 func NewForNode(seed uint64, id int) *Stream {
+	s := ForNode(seed, id)
+	return &s
+}
+
+// ForNode is NewForNode returning the stream by value, so callers that keep
+// one stream per node (struct-of-arrays protocol state) can store them in a
+// flat slice instead of allocating each stream on the heap. The derived
+// state is identical to NewForNode's.
+func ForNode(seed uint64, id int) Stream {
 	x := seed
 	mix := splitMix64(&x)
 	y := mix ^ (uint64(id)+1)*0xd1342543de82ef95
-	return New(splitMix64(&y) ^ uint64(id))
+	return fromSeed(splitMix64(&y) ^ uint64(id))
 }
 
 // Fork derives a new independent stream from s, labeled by tag. Forking the

@@ -1,0 +1,478 @@
+// Batch-machine runtime: the allocation-free execution path of the engine.
+//
+// The per-node Machine interface costs two virtual calls and one inbox
+// slice per awake node per round. For protocols whose state transitions are
+// tiny (Luby-style marking steps — the hot path of every workload in this
+// repo), that dispatch and allocation overhead dominates the simulation.
+// A BatchMachine instead keeps all per-node state in flat arrays
+// (struct-of-arrays) and is driven with whole awake-sets per call: the
+// engine makes O(1) interface calls per round regardless of how many nodes
+// are awake, routes every message through one pooled buffer, and reaches
+// zero steady-state allocations per round.
+//
+// Execution semantics, delivery order, and all measured counters are
+// identical to the per-node engine in sim.go: for any protocol expressed
+// both ways, Run and RunBatch produce byte-identical Results (enforced by
+// the differential tests in the luby and phase1 packages and by
+// determinism_test.go at the repo root).
+package sim
+
+import (
+	"fmt"
+	"slices"
+
+	"github.com/energymis/energymis/internal/graph"
+	"github.com/energymis/energymis/internal/rng"
+)
+
+// BatchEnv is the static view a BatchMachine receives once, before round 0:
+// the full topology (a simulated node may of course only *use* its own
+// neighborhood), the model parameters, and the seed from which per-node
+// randomness must be derived via rng.ForNode(Seed, v) — the same streams
+// the per-node engine hands each Machine.
+type BatchEnv struct {
+	G    *graph.Graph
+	N    int // number of nodes
+	B    int // CONGEST message budget in bits
+	Seed uint64
+}
+
+// BatchMachine is a whole-protocol automaton over flat per-node state.
+//
+// InitAll is called once; it returns each node's first awake round (Never
+// to sleep forever), exactly like Machine.Init per node.
+//
+// In every round with a non-empty awake set, the engine calls ComposeAll
+// and then DeliverAll with the sorted awake set. ComposeAll must emit
+// messages grouped by sender, in the order senders appear in `awake` (the
+// natural shape of a `for _, v := range awake` loop). DeliverAll reads each
+// awake node's inbox via in.At(i) — i indexes into the `awake` slice it was
+// given — and writes the node's next wake round (must be > round, or Never)
+// into next[i].
+//
+// When the engine runs with Workers > 1, ComposeAll and DeliverAll are
+// invoked concurrently on disjoint contiguous sub-slices of the round's
+// awake set. An implementation must therefore only touch per-node state of
+// the nodes in the slice it was handed — which the struct-of-arrays layout
+// gives for free when the loop body stays per-node, as in the per-node
+// engine's contract.
+type BatchMachine interface {
+	InitAll(env *BatchEnv) []int
+	ComposeAll(round int, awake []int32, out *BatchOutbox)
+	DeliverAll(round int, awake []int32, in Inboxes, next []int)
+}
+
+// BatchOutbox collects the messages of one ComposeAll call: broadcasts and
+// unicasts in two flat arrays, each grouped by sender in awake order (the
+// engine's router relies on that grouping to reproduce the per-node
+// engine's delivery order without sorting). Buffers are pooled and reused
+// across rounds.
+type BatchOutbox struct {
+	bcast []Msg   // broadcasts; Msg.From is the sender
+	uni   []Msg   // unicasts; Msg.From is the sender
+	uto   []int32 // unicast destinations, parallel to uni
+}
+
+// Broadcast queues m on every incident edge of node from.
+func (o *BatchOutbox) Broadcast(from int32, m Msg) {
+	m.From = from
+	o.bcast = append(o.bcast, m)
+}
+
+// Send queues a unicast from node from to its neighbor to.
+func (o *BatchOutbox) Send(from, to int32, m Msg) {
+	m.From = from
+	o.uni = append(o.uni, m)
+	o.uto = append(o.uto, to)
+}
+
+func (o *BatchOutbox) reset() {
+	o.bcast = o.bcast[:0]
+	o.uni = o.uni[:0]
+	o.uto = o.uto[:0]
+}
+
+// Inboxes serves every awake node's inbox as a segment of one pooled
+// buffer: node awake[i]'s messages are At(i), in the same order the
+// per-node engine would deliver them (ascending sender; per sender,
+// broadcasts before unicasts, each in call order). The view may cover a
+// sub-slice of the round's awake set (the parallel executor hands each
+// worker its chunk); At indexes relative to that sub-slice.
+type Inboxes struct {
+	buf  []Msg
+	off  []int32 // len = full awake set + 1
+	base int32   // rank of this view's first node in the full awake set
+}
+
+// At returns the inbox of the i-th node of the awake slice this view was
+// delivered with. The returned slice aliases the round's shared buffer and
+// must not be retained across rounds.
+func (in Inboxes) At(i int) []Msg {
+	o := in.base + int32(i)
+	return in.buf[in.off[o]:in.off[o+1]]
+}
+
+// Mem holds the engine's reusable buffers, so a caller executing many runs
+// (the throughput executor in internal/bench) can amortize all engine
+// allocations across runs instead of paying them per run. A Mem may be
+// reused across runs of different sizes (buffers grow to the maximum) but
+// must not be shared by concurrent runs. The zero value is ready to use.
+type Mem struct {
+	stamp      []int64 // node -> stampBase + round awake + 1
+	stampBase  int64   // epoch offset, bumped per run so stamp needs no clearing
+	rank       []int32 // node -> index in this round's awake set
+	next       []int
+	inbuf      []Msg
+	inoff      []int32
+	cnt        []int32
+	routed     []Msg
+	rdst       []int32
+	roundHeap  []int
+	buckets    map[int][]int32
+	bucketPool [][]int32
+	outs       []BatchOutbox
+}
+
+// NewMem returns an empty buffer pool.
+func NewMem() *Mem { return &Mem{} }
+
+func (m *Mem) grow(n, workers int) {
+	if cap(m.stamp) < n {
+		m.stamp = make([]int64, n)
+		m.stampBase = 0
+	}
+	m.stamp = m.stamp[:n]
+	if cap(m.rank) < n {
+		m.rank = make([]int32, n)
+	}
+	m.rank = m.rank[:n]
+	if m.buckets == nil {
+		m.buckets = make(map[int][]int32)
+	}
+	for len(m.outs) < workers {
+		m.outs = append(m.outs, BatchOutbox{})
+	}
+}
+
+// RunBatch executes bm on g until no node is scheduled to wake, and returns
+// the measured Result — the batch-runtime counterpart of Run, with
+// identical Config normalization, scheduling, routing order, and
+// accounting. cfg.Mem, when non-nil, supplies pooled buffers reused across
+// runs.
+func RunBatch(g *graph.Graph, bm BatchMachine, cfg Config) (*Result, error) {
+	n := g.N()
+	if cfg.B == 0 {
+		cfg.B = DefaultB(n)
+	}
+	if cfg.MaxRounds == 0 {
+		cfg.MaxRounds = 1 << 22
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.Workers > n && n > 0 {
+		cfg.Workers = n
+	}
+	mem := cfg.Mem
+	if mem == nil {
+		mem = NewMem()
+	}
+	e := &batchEngine{g: g, bm: bm, cfg: cfg, mem: mem}
+	return e.run()
+}
+
+type batchEngine struct {
+	g   *graph.Graph
+	bm  BatchMachine
+	cfg Config
+	mem *Mem
+	res Result
+
+	// Current-round state read by the hoisted worker closures (allocated
+	// once per run, not once per round).
+	curRound int
+	curAwake []int32
+	curNext  []int
+}
+
+func (e *batchEngine) schedule(v int32, round int) error {
+	if round == Never {
+		return nil
+	}
+	if round < 0 {
+		return fmt.Errorf("sim: node %d scheduled invalid round %d", v, round)
+	}
+	m := e.mem
+	b, ok := m.buckets[round]
+	if !ok {
+		heapPush(&m.roundHeap, round)
+		if k := len(m.bucketPool); k > 0 {
+			b = m.bucketPool[k-1][:0]
+			m.bucketPool = m.bucketPool[:k-1]
+		}
+	}
+	m.buckets[round] = append(b, v)
+	return nil
+}
+
+func (e *batchEngine) run() (*Result, error) {
+	n := e.g.N()
+	m := e.mem
+	m.grow(n, e.cfg.Workers)
+	e.res.Awake = make([]int32, n) // escapes into the Result; never pooled
+
+	// Leave the Mem reusable on every exit, including error paths: drain
+	// pending wake buckets (a retry on the same pool must not see phantom
+	// scheduled nodes, possibly from a different graph) and advance the
+	// stamp epoch past every stamp this run may have written, so the next
+	// run needs no O(n) clear and stale stamps can never match.
+	defer func() {
+		for r, b := range m.buckets {
+			m.bucketPool = append(m.bucketPool, b)
+			delete(m.buckets, r)
+		}
+		m.roundHeap = m.roundHeap[:0]
+		m.stampBase += int64(e.curRound) + 2
+	}()
+
+	env := BatchEnv{G: e.g, N: n, B: e.cfg.B, Seed: e.cfg.Seed}
+	first := e.bm.InitAll(&env)
+	if len(first) != n {
+		return nil, fmt.Errorf("sim: InitAll returned %d first rounds for %d nodes", len(first), n)
+	}
+	for v, r := range first {
+		if err := e.schedule(int32(v), r); err != nil {
+			return nil, err
+		}
+	}
+
+	composeChunk := func(w, lo, hi int) {
+		ob := &m.outs[w]
+		ob.reset()
+		e.bm.ComposeAll(e.curRound, e.curAwake[lo:hi], ob)
+	}
+	deliverChunk := func(w, lo, hi int) {
+		view := Inboxes{buf: m.inbuf, off: m.inoff, base: int32(lo)}
+		e.bm.DeliverAll(e.curRound, e.curAwake[lo:hi], view, e.curNext[lo:hi])
+	}
+
+	for len(m.roundHeap) > 0 {
+		round := heapPop(&m.roundHeap)
+		awake := m.buckets[round]
+		delete(m.buckets, round)
+		if round >= e.cfg.MaxRounds {
+			return nil, fmt.Errorf("sim: exceeded MaxRounds=%d", e.cfg.MaxRounds)
+		}
+		slices.Sort(awake)
+		awake = dedupSorted(awake)
+
+		stamp := m.stampBase + int64(round) + 1
+		for i, v := range awake {
+			m.stamp[v] = stamp
+			m.rank[v] = int32(i)
+			e.res.Awake[v]++
+		}
+
+		workers := e.cfg.Workers
+		if workers > len(awake) {
+			workers = len(awake)
+		}
+		if workers < 1 {
+			workers = 1
+		}
+
+		// Phase 1: compose, one BatchOutbox per worker chunk.
+		e.curRound, e.curAwake = round, awake
+		runChunks(workers, len(awake), composeChunk)
+
+		// Phase 2: route sequentially — merge the worker outboxes (chunks
+		// partition the sorted awake set, so visiting them in order walks
+		// senders ascending) into one receiver-grouped inbox buffer.
+		if err := e.route(awake, workers, stamp); err != nil {
+			return nil, err
+		}
+
+		// Phase 3: deliver over the same chunks, then apply scheduling
+		// decisions sequentially (the wake buckets are shared state).
+		if cap(m.next) < len(awake) {
+			m.next = make([]int, len(awake))
+		}
+		next := m.next[:len(awake)]
+		e.curNext = next
+		runChunks(workers, len(awake), deliverChunk)
+		for i, v := range awake {
+			if next[i] != Never && next[i] <= round {
+				return nil, fmt.Errorf("sim: node %d returned wake round %d <= current %d", v, next[i], round)
+			}
+			if err := e.schedule(v, next[i]); err != nil {
+				return nil, err
+			}
+		}
+		m.bucketPool = append(m.bucketPool, awake)
+		e.res.Rounds = round + 1
+	}
+	return &e.res, nil
+}
+
+// route merges the worker outboxes into the round's inbox buffer. Two
+// passes: the first walks every message in the per-node engine's routing
+// order (ascending sender; per sender broadcasts then unicasts), accounts
+// traffic, drops messages to sleeping receivers, and stages the survivors
+// with their destination rank; the second computes per-receiver offsets and
+// scatters. Staging preserves arrival order, so each receiver's segment is
+// byte-identical to the per-node engine's inbox.
+func (e *batchEngine) route(awake []int32, workers int, stamp int64) error {
+	m := e.mem
+	k := len(awake)
+	if cap(m.cnt) < k+1 {
+		m.cnt = make([]int32, k+1)
+	}
+	cnt := m.cnt[:k+1]
+	for i := range cnt {
+		cnt[i] = 0
+	}
+	routed := m.routed[:0]
+	rdst := m.rdst[:0]
+
+	for w := 0; w < workers; w++ {
+		ob := &m.outs[w]
+		bi, ui := 0, 0
+		for bi < len(ob.bcast) || ui < len(ob.uni) {
+			// Next sender: the smaller head; its broadcasts drain before
+			// its unicasts, matching the per-node engine's router.
+			var s int32
+			if bi < len(ob.bcast) && (ui >= len(ob.uni) || ob.bcast[bi].From <= ob.uni[ui].From) {
+				s = ob.bcast[bi].From
+			} else {
+				s = ob.uni[ui].From
+			}
+			nbrs := e.g.Neighbors(int(s))
+			d := len(nbrs)
+			for bi < len(ob.bcast) && ob.bcast[bi].From == s {
+				mm := ob.bcast[bi]
+				bi++
+				if d == 0 {
+					continue // no incident edges: nothing sent, nothing accounted
+				}
+				e.accountFanoutBatch(mm, d)
+				for _, u := range nbrs {
+					if m.stamp[u] == stamp {
+						routed = append(routed, mm)
+						rdst = append(rdst, m.rank[u])
+						cnt[m.rank[u]]++
+					} else {
+						e.res.MsgsDropped++
+					}
+				}
+			}
+			for ui < len(ob.uni) && ob.uni[ui].From == s {
+				mm := ob.uni[ui]
+				to := ob.uto[ui]
+				ui++
+				e.accountFanoutBatch(mm, 1)
+				if m.stamp[to] == stamp {
+					routed = append(routed, mm)
+					rdst = append(rdst, m.rank[to])
+					cnt[m.rank[to]]++
+				} else {
+					e.res.MsgsDropped++
+				}
+			}
+		}
+	}
+	m.routed = routed
+	m.rdst = rdst
+
+	// Offsets, then scatter in staging order (stable per receiver).
+	if cap(m.inoff) < k+1 {
+		m.inoff = make([]int32, k+1)
+	}
+	off := m.inoff[:k+1]
+	run := int32(0)
+	for i := 0; i < k; i++ {
+		off[i] = run
+		run += cnt[i]
+		cnt[i] = off[i] // reuse as write cursor
+	}
+	off[k] = run
+	if cap(m.inbuf) < int(run) {
+		m.inbuf = make([]Msg, run)
+	}
+	buf := m.inbuf[:run]
+	for i, mm := range routed {
+		r := rdst[i]
+		buf[cnt[r]] = mm
+		cnt[r]++
+	}
+	m.inbuf = buf
+	m.inoff = off
+	return nil
+}
+
+func (e *batchEngine) accountFanoutBatch(m Msg, copies int) {
+	e.res.MsgsSent += int64(copies)
+	e.res.BitsTotal += int64(copies) * int64(m.Bits)
+	if int(m.Bits) > e.res.BitsMax {
+		e.res.BitsMax = int(m.Bits)
+	}
+	if int(m.Bits) > e.cfg.B {
+		if e.cfg.Strict {
+			panic(fmt.Sprintf("sim: message of %d bits exceeds CONGEST budget %d", m.Bits, e.cfg.B))
+		}
+		e.res.Violations += int64(copies)
+	}
+}
+
+// Adapt wraps per-node machines as a BatchMachine, so any legacy protocol
+// can execute on the batch runtime (and be differentially tested against
+// the per-node engine). The adapter pays the per-node dispatch the batch
+// runtime exists to avoid — protocols on the hot path should implement
+// BatchMachine natively.
+func Adapt(machines []Machine) BatchMachine {
+	return &machineAdapter{machines: machines}
+}
+
+type machineAdapter struct {
+	machines []Machine
+	envs     []Env
+	outs     []Outbox // per-node scratch: ComposeAll chunks may run concurrently
+}
+
+func (a *machineAdapter) InitAll(env *BatchEnv) []int {
+	n := len(a.machines)
+	a.envs = make([]Env, n)
+	a.outs = make([]Outbox, n)
+	first := make([]int, n)
+	for v := 0; v < n; v++ {
+		a.envs[v] = Env{
+			Node:      v,
+			N:         env.N,
+			Degree:    env.G.Degree(v),
+			Neighbors: env.G.Neighbors(v),
+			B:         env.B,
+			Rand:      rng.NewForNode(env.Seed, v),
+		}
+		first[v] = a.machines[v].Init(&a.envs[v])
+	}
+	return first
+}
+
+func (a *machineAdapter) ComposeAll(round int, awake []int32, out *BatchOutbox) {
+	for _, v := range awake {
+		ob := &a.outs[v]
+		ob.reset(v, a.envs[v].Neighbors)
+		a.machines[v].Compose(round, ob)
+		for _, m := range ob.bcast {
+			out.Broadcast(v, m)
+		}
+		for _, am := range ob.msgs {
+			out.Send(v, am.to, am.msg)
+		}
+	}
+}
+
+func (a *machineAdapter) DeliverAll(round int, awake []int32, in Inboxes, next []int) {
+	for i, v := range awake {
+		next[i] = a.machines[v].Deliver(round, in.At(i))
+	}
+}

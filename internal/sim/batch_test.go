@@ -1,0 +1,261 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/energymis/energymis/internal/graph"
+)
+
+// chatterMachine exercises every routing feature the batch runtime must
+// reproduce: broadcasts and unicasts in the same round, random sleep
+// schedules (messages to sleepers must drop), and an order-sensitive digest
+// of the inbox so any deviation in delivery order changes the final state.
+type chatterMachine struct {
+	env    *Env
+	rounds int
+	digest uint64
+	awake  int
+}
+
+func (m *chatterMachine) Init(env *Env) int {
+	m.env = env
+	return env.Node % 3 // staggered first wake
+}
+
+func (m *chatterMachine) Compose(round int, out *Outbox) {
+	r := m.env.Rand
+	if r.Bernoulli(0.6) {
+		out.Broadcast(Msg{Kind: 1, A: uint64(round), Bits: 8})
+	}
+	for _, u := range m.env.Neighbors {
+		if r.Bernoulli(0.3) {
+			out.Send(u, Msg{Kind: 2, A: uint64(u), Bits: 12})
+		}
+	}
+}
+
+func (m *chatterMachine) Deliver(round int, inbox []Msg) int {
+	for _, msg := range inbox {
+		// Order-sensitive rolling hash over the full inbox sequence.
+		m.digest = m.digest*0x9e3779b97f4a7c15 + uint64(msg.From)<<16 + uint64(msg.Kind)<<8 + msg.A
+	}
+	m.awake++
+	if m.awake >= m.rounds {
+		return Never
+	}
+	// Random sleep gap: some neighbors' messages must be dropped.
+	return round + 1 + m.env.Rand.Intn(3)
+}
+
+func runChatter(t *testing.T, g *graph.Graph, batch bool, workers int) ([]uint64, *Result) {
+	t.Helper()
+	n := g.N()
+	machines := make([]Machine, n)
+	nodes := make([]chatterMachine, n)
+	for v := range machines {
+		nodes[v].rounds = 6
+		machines[v] = &nodes[v]
+	}
+	cfg := Config{Seed: 42, Workers: workers}
+	var res *Result
+	var err error
+	if batch {
+		res, err = RunBatch(g, Adapt(machines), cfg)
+	} else {
+		res, err = Run(g, machines, cfg)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	digests := make([]uint64, n)
+	for v := range nodes {
+		digests[v] = nodes[v].digest
+	}
+	return digests, res
+}
+
+// TestBatchAdapterMatchesPerNodeEngine runs the same per-node machines on
+// both engines (and on the batch engine across worker counts) and requires
+// byte-identical inbox sequences and counters.
+func TestBatchAdapterMatchesPerNodeEngine(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.GNP(200, 0.05, 9),
+		graph.Cycle(31),
+		graph.Star(40),
+		graph.FromEdges(6, [][2]int{{0, 1}}), // isolated nodes
+	}
+	for gi, g := range graphs {
+		refDig, refRes := runChatter(t, g, false, 1)
+		for _, workers := range []int{1, 2, 7} {
+			dig, res := runChatter(t, g, true, workers)
+			for v := range refDig {
+				if dig[v] != refDig[v] {
+					t.Fatalf("graph %d workers=%d: node %d inbox digest %x, per-node engine %x",
+						gi, workers, v, dig[v], refDig[v])
+				}
+			}
+			if res.Rounds != refRes.Rounds || res.MsgsSent != refRes.MsgsSent ||
+				res.MsgsDropped != refRes.MsgsDropped || res.BitsTotal != refRes.BitsTotal ||
+				res.BitsMax != refRes.BitsMax {
+				t.Fatalf("graph %d workers=%d: counters differ\n per-node: %+v\n batch:    %+v",
+					gi, workers, refRes, res)
+			}
+			for v := range res.Awake {
+				if res.Awake[v] != refRes.Awake[v] {
+					t.Fatalf("graph %d workers=%d: Awake[%d] = %d, per-node %d",
+						gi, workers, v, res.Awake[v], refRes.Awake[v])
+				}
+			}
+		}
+	}
+}
+
+// badWakeBatch schedules a non-increasing wake round, which must error the
+// run exactly like the per-node engine does.
+type badWakeBatch struct{}
+
+func (badWakeBatch) InitAll(env *BatchEnv) []int {
+	first := make([]int, env.N)
+	return first // everyone wakes at round 0
+}
+func (badWakeBatch) ComposeAll(round int, awake []int32, out *BatchOutbox) {}
+func (badWakeBatch) DeliverAll(round int, awake []int32, in Inboxes, next []int) {
+	for i := range next {
+		next[i] = round // not > round: protocol error
+	}
+}
+
+func TestBatchRejectsNonIncreasingWake(t *testing.T) {
+	g := graph.Cycle(4)
+	if _, err := RunBatch(g, badWakeBatch{}, Config{}); err == nil {
+		t.Fatal("expected error for non-increasing wake round")
+	}
+}
+
+func TestBatchEmptyGraph(t *testing.T) {
+	g := graph.FromEdges(0, nil)
+	res, err := RunBatch(g, badWakeBatch{}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 0 || res.MsgsSent != 0 {
+		t.Fatalf("empty graph: %+v", res)
+	}
+}
+
+// pingBatch is a minimal native batch machine: every node broadcasts for a
+// fixed number of rounds. Its state arrays are sized once and reused across
+// runs, so a warm run through a pooled Mem measures the engine's own
+// steady-state allocation behavior.
+type pingBatch struct {
+	g      *graph.Graph
+	rounds int
+	left   []int32
+	first  []int
+}
+
+func (p *pingBatch) InitAll(env *BatchEnv) []int {
+	if p.left == nil {
+		p.left = make([]int32, env.N)
+		p.first = make([]int, env.N)
+	}
+	for v := range p.left {
+		p.left[v] = int32(p.rounds)
+		p.first[v] = 0
+	}
+	return p.first
+}
+
+func (p *pingBatch) ComposeAll(round int, awake []int32, out *BatchOutbox) {
+	for _, v := range awake {
+		out.Broadcast(v, Msg{Kind: 1, A: uint64(v), Bits: 8})
+	}
+}
+
+func (p *pingBatch) DeliverAll(round int, awake []int32, in Inboxes, next []int) {
+	for i, v := range awake {
+		p.left[v]--
+		if p.left[v] <= 0 {
+			next[i] = Never
+		} else {
+			next[i] = round + 1
+		}
+	}
+}
+
+// TestBatchSteadyStateAllocs asserts the headline property of the batch
+// runtime: with a native BatchMachine and a warm Mem pool, a whole run
+// performs only O(1) allocations (the escaping Result), independent of
+// nodes, rounds, and traffic.
+func TestBatchSteadyStateAllocs(t *testing.T) {
+	g := graph.GNP(400, 10.0/400, 3)
+	mem := NewMem()
+	pb := &pingBatch{g: g, rounds: 5}
+	run := func() {
+		if _, err := RunBatch(g, pb, Config{Seed: 7, Mem: mem}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm the pool
+	allocs := testing.AllocsPerRun(5, run)
+	// Result.Awake escapes (1 alloc) plus a handful of runtime incidentals;
+	// anything growing with n or traffic is a pooling regression.
+	if allocs > 8 {
+		t.Fatalf("warm native batch run allocated %.0f times, want O(1)", allocs)
+	}
+}
+
+// TestBatchAdapterAllocsBounded bounds the adapter path: it pays per-node
+// init allocations (envs, rng streams, outbox growth) but nothing per
+// round beyond them.
+func TestBatchAdapterAllocsBounded(t *testing.T) {
+	g := graph.GNP(400, 10.0/400, 3)
+	n := g.N()
+	machines := make([]Machine, n)
+	nodes := make([]chatterMachine, n)
+	mem := NewMem()
+	run := func() {
+		for v := range nodes {
+			nodes[v] = chatterMachine{rounds: 4}
+			machines[v] = &nodes[v]
+		}
+		if _, err := RunBatch(g, Adapt(machines), Config{Seed: 7, Mem: mem}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run()
+	allocs := testing.AllocsPerRun(3, run)
+	if allocs > float64(n)*8 {
+		t.Fatalf("warm adapter run allocated %.0f times (n=%d)", allocs, n)
+	}
+}
+
+// TestBatchMemReuseAfterError: a run that errors mid-flight (MaxRounds
+// here) must leave a pooled Mem clean — no phantom scheduled nodes, no
+// stale awake stamps — so a subsequent run on a different (smaller) graph
+// behaves exactly like one on fresh buffers.
+func TestBatchMemReuseAfterError(t *testing.T) {
+	mem := NewMem()
+	big := graph.GNP(300, 0.05, 1)
+	if _, err := RunBatch(big, &pingBatch{g: big, rounds: 50}, Config{Mem: mem, MaxRounds: 5}); err == nil {
+		t.Fatal("expected MaxRounds error")
+	}
+	small := graph.Cycle(10)
+	pooled, err := RunBatch(small, &pingBatch{g: small, rounds: 3}, Config{Mem: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := RunBatch(small, &pingBatch{g: small, rounds: 3}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pooled.Rounds != fresh.Rounds || pooled.MsgsSent != fresh.MsgsSent ||
+		pooled.MsgsDropped != fresh.MsgsDropped || pooled.BitsTotal != fresh.BitsTotal {
+		t.Fatalf("post-error pooled run differs\n fresh:  %+v\n pooled: %+v", fresh, pooled)
+	}
+	for v := range pooled.Awake {
+		if pooled.Awake[v] != fresh.Awake[v] {
+			t.Fatalf("post-error pooled Awake[%d] = %d, fresh %d", v, pooled.Awake[v], fresh.Awake[v])
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/energymis/energymis/internal/graph"
+)
+
+// Unit tests for Outbox.finalize, the sender-side port-grouping step of the
+// parallel router: layout (final/off) and accounting (routeStats) on the
+// edge cases the protocols can produce.
+
+// finalizeOn builds an outbox for node 0 of g, applies queue, and finalizes
+// with every neighbor awake (or asleep when awakeAll is false).
+func finalizeOn(g *graph.Graph, node int32, queue func(*Outbox), awakeAll bool) (*Outbox, routeStats) {
+	ob := &Outbox{}
+	ob.reset(node, g.Neighbors(int(node)))
+	queue(ob)
+	stamp := int64(1)
+	awake := make([]int64, g.N())
+	if awakeAll {
+		for i := range awake {
+			awake[i] = stamp
+		}
+	}
+	var rs routeStats
+	ob.finalize(awake, stamp, 16, &rs)
+	return ob, rs
+}
+
+func segment(ob *Outbox, port int) []Msg {
+	return ob.final[ob.off[port]:ob.off[port+1]]
+}
+
+func TestFinalizeDuplicateUnicastSamePort(t *testing.T) {
+	g := graph.Path(3) // node 1 has ports {0:->0, 1:->2}
+	ob, rs := finalizeOn(g, 1, func(o *Outbox) {
+		o.Send(0, Msg{Kind: 1, A: 10, Bits: 4})
+		o.Send(0, Msg{Kind: 2, A: 20, Bits: 4}) // same port again
+		o.Send(2, Msg{Kind: 3, A: 30, Bits: 4})
+	}, true)
+	p0 := segment(ob, 0)
+	if len(p0) != 2 || p0[0].Kind != 1 || p0[1].Kind != 2 {
+		t.Fatalf("port 0 segment = %+v, want kinds [1 2] in call order", p0)
+	}
+	if p1 := segment(ob, 1); len(p1) != 1 || p1[0].Kind != 3 {
+		t.Fatalf("port 1 segment = %+v, want kind [3]", p1)
+	}
+	if rs.msgs != 3 || rs.bits != 12 || rs.drops != 0 {
+		t.Fatalf("stats = %+v, want 3 msgs / 12 bits / 0 drops", rs)
+	}
+}
+
+func TestFinalizeBroadcastPlusUnicastSameRound(t *testing.T) {
+	g := graph.Star(4) // center 0 with leaves 1..3
+	ob, rs := finalizeOn(g, 0, func(o *Outbox) {
+		o.Broadcast(Msg{Kind: 9, Bits: 2})
+		o.Send(2, Msg{Kind: 5, Bits: 4})
+		o.Broadcast(Msg{Kind: 8, Bits: 2})
+	}, true)
+	// Every port gets both broadcasts (call order) first; port of node 2
+	// additionally gets the unicast after them.
+	for p := 0; p < 3; p++ {
+		seg := segment(ob, p)
+		wantLen := 2
+		if ob.neighbors[p] == 2 {
+			wantLen = 3
+		}
+		if len(seg) != wantLen || seg[0].Kind != 9 || seg[1].Kind != 8 {
+			t.Fatalf("port %d segment = %+v, want broadcasts [9 8] first (len %d)", p, seg, wantLen)
+		}
+		if wantLen == 3 && seg[2].Kind != 5 {
+			t.Fatalf("port %d: unicast not after broadcasts: %+v", p, seg)
+		}
+	}
+	// 2 broadcasts × 3 edges + 1 unicast = 7 messages, 2·3·2 + 4 = 16 bits.
+	if rs.msgs != 7 || rs.bits != 16 {
+		t.Fatalf("stats = %+v, want 7 msgs / 16 bits", rs)
+	}
+}
+
+func TestFinalizeZeroDegreeNode(t *testing.T) {
+	g := graph.FromEdges(3, [][2]int{{1, 2}}) // node 0 isolated
+	ob, rs := finalizeOn(g, 0, func(o *Outbox) {
+		o.Broadcast(Msg{Kind: 7, Bits: 2}) // no incident edges: goes nowhere
+	}, true)
+	if len(ob.off) != 1 || ob.off[0] != 0 {
+		t.Fatalf("zero-degree off = %v, want [0]", ob.off)
+	}
+	if rs.msgs != 0 || rs.bits != 0 || rs.bitsMax != 0 || rs.drops != 0 {
+		t.Fatalf("zero-degree broadcast accounted traffic: %+v", rs)
+	}
+}
+
+func TestFinalizeDropsToSleepingReceivers(t *testing.T) {
+	g := graph.Star(3) // center 0, leaves 1..2
+	_, rs := finalizeOn(g, 0, func(o *Outbox) {
+		o.Broadcast(Msg{Kind: 1, Bits: 2})
+		o.Send(1, Msg{Kind: 2, Bits: 4})
+	}, false) // everyone asleep
+	// Sent counters unchanged by receiver state; every message dropped.
+	if rs.msgs != 3 || rs.drops != 3 {
+		t.Fatalf("stats = %+v, want 3 msgs all dropped", rs)
+	}
+}
+
+func TestFinalizeEmptyRoundResetsOffsets(t *testing.T) {
+	g := graph.Path(2)
+	ob := &Outbox{}
+	ob.reset(0, g.Neighbors(0))
+	ob.Send(1, Msg{Kind: 1, Bits: 2})
+	awake := []int64{1, 1}
+	var rs routeStats
+	ob.finalize(awake, 1, 16, &rs)
+	if got := segment(ob, 0); len(got) != 1 {
+		t.Fatalf("round 1 segment = %+v", got)
+	}
+	// Next round: nothing queued; stale offsets must be cleared so the
+	// receiver-side gather sees an empty segment, not last round's.
+	ob.reset(0, g.Neighbors(0))
+	ob.finalize(awake, 2, 16, &rs)
+	if got := segment(ob, 0); len(got) != 0 {
+		t.Fatalf("empty round segment = %+v, want empty", got)
+	}
+}

@@ -149,6 +149,9 @@ type Config struct {
 	B         int  // CONGEST budget in bits; 0 means 4*ceil(log2 N) (min 16)
 	Workers   int  // >1 enables the parallel executor with that many workers
 	Strict    bool // panic on CONGEST violations instead of counting them
+	// Mem supplies pooled engine buffers reused across runs (see Mem). Used
+	// by the batch runtime (RunBatch); nil allocates fresh buffers.
+	Mem *Mem
 }
 
 // DefaultB returns the default CONGEST budget for an n-node network.
