@@ -1,6 +1,7 @@
 package energymis_test
 
-// Benchmark harness: one benchmark per experiment of DESIGN.md §5.
+// Benchmark harness: one benchmark per reproduction experiment (the
+// E-series of cmd/sweep).
 // Each benchmark reports the paper's complexity measures as custom
 // metrics (rounds, awake counts) in addition to wall-clock throughput, so
 // `go test -bench=. -benchmem` regenerates every experiment's headline

@@ -1,7 +1,7 @@
-// Command sweep regenerates the paper-reproduction experiments (E1–E10 of
-// DESIGN.md), the ablations (A1–A4), and the dynamic-MIS experiments
-// (D1–D2), printing each as a markdown table. EXPERIMENTS.md is the
-// archived output of `sweep -e all`.
+// Command sweep regenerates the paper-reproduction experiments (E1–E10),
+// the ablations (A1–A4), the dynamic-MIS experiments (D1–D2), the bench
+// twin (B1), and the unit-disk scenario (G1), printing each as a markdown
+// table (see the registry below for what each one measures).
 //
 // Usage:
 //

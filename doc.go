@@ -1,0 +1,31 @@
+// Package energymis is a simulation library for distributed maximal
+// independent set (MIS) algorithms with low energy complexity, reproducing
+//
+//	Mohsen Ghaffari, Julian Portmann.
+//	"Distributed MIS with Low Energy and Time Complexities", PODC 2023.
+//	arXiv:2305.11639.
+//
+// The library implements the synchronous CONGEST message-passing model
+// with sleeping semantics (a node is awake or asleep each round; energy
+// complexity is the maximum number of awake rounds over nodes), the
+// paper's two algorithms, their Section 4 constant-average-energy
+// variants, and Luby's classic algorithm as the baseline:
+//
+//	algorithm      time complexity              energy complexity
+//	Luby           O(log n)                     O(log n)
+//	Algorithm1     O(log² n)                    O(log log n)
+//	Algorithm2     O(log n·log log n·log* n)    O(log² log n)
+//	Algorithm1Avg  as Algorithm1                as Algorithm1, O(1) average
+//	Algorithm2Avg  as Algorithm2                as Algorithm2, O(1) average
+//
+// Quick start:
+//
+//	g := energymis.GNP(10_000, 8.0/10_000, 1)
+//	res, err := energymis.Run(g, energymis.Algorithm1, energymis.Options{Seed: 42})
+//	if err != nil { ... }
+//	fmt.Println(res.MaxAwake, res.Rounds, res.MISSize())
+//
+// Every run is deterministic in (graph, algorithm, Options.Seed) and
+// validates nothing by itself; use RunVerified to also check maximality
+// and independence of the output.
+package energymis

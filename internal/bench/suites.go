@@ -103,12 +103,19 @@ func staticSpec(family string, g func() *energymis.Graph, n int, algo energymis.
 		suite = SuiteScaling
 		name = fmt.Sprintf("%s/n=%d/workers=%d", algo, n, workers)
 	}
+	// One pooled Mem per case: the warm-up run allocates the engine
+	// buffers once, every timed repetition then executes the whole batch
+	// pipeline — all phases — against the warm pool (case runs are
+	// sequential, so the Mem is never shared concurrently). Simulated work
+	// and all deterministic counters are unaffected (see
+	// pipeline.TestSharedMemIdentical).
+	mem := energymis.NewMem()
 	return Spec{
 		Suite: suite,
 		Name:  name,
 		Quick: quick,
 		Run: func() (Metrics, error) {
-			res, err := energymis.Run(g(), algo, energymis.Options{Seed: 1, Workers: workers})
+			res, err := energymis.Run(g(), algo, energymis.Options{Seed: 1, Workers: workers, Mem: mem})
 			if err != nil {
 				return Metrics{}, err
 			}

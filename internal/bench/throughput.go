@@ -7,8 +7,6 @@ import (
 	"sync/atomic"
 
 	energymis "github.com/energymis/energymis"
-	"github.com/energymis/energymis/internal/core"
-	"github.com/energymis/energymis/internal/sim"
 )
 
 // The throughput executor models the scenario-sweep workload the ROADMAP
@@ -50,8 +48,7 @@ func RunThroughput(g *energymis.Graph, algo energymis.Algorithm, opts Throughput
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			adv := core.DefaultOptions()
-			adv.Mem = sim.NewMem() // pooled engine buffers, one per worker
+			mem := energymis.NewMem() // pooled engine buffers, one per worker
 			acc := &partial[w]
 			for {
 				i := next.Add(1) - 1
@@ -59,8 +56,8 @@ func RunThroughput(g *energymis.Graph, algo energymis.Algorithm, opts Throughput
 					return
 				}
 				res, err := energymis.Run(g, algo, energymis.Options{
-					Seed:     uint64(i) + 1,
-					Advanced: &adv,
+					Seed: uint64(i) + 1,
+					Mem:  mem,
 				})
 				if err != nil {
 					errs[w] = fmt.Errorf("bench: throughput run %d: %w", i, err)

@@ -1,10 +1,3 @@
-// Package bitvec provides compact bit vectors and bit-size accounting
-// helpers used to express CONGEST messages.
-//
-// The CONGEST model limits each message to B = O(log n) bits. Protocols in
-// this repository build their payloads from integers and bit vectors and
-// declare the exact bit count of every message; this package centralizes
-// those size computations so tests can assert model compliance.
 package bitvec
 
 import (

@@ -1,0 +1,12 @@
+// Package cluster provides the labeled-distance-tree (LDT) machinery of
+// Section 2.3: rooted spanning trees in which every node knows its parent,
+// its depth, and a global depth bound D, enabling broadcast and
+// convergecast with O(1) awake rounds per node and O(D) total rounds.
+//
+// The scheduling trick (from [AMP22, BM21a], restated in the paper): in a
+// broadcast, a node at depth d receives from its parent exactly at window
+// round d−1 and forwards at round d; in a convergecast, a node at depth d
+// receives from its children at window round D−2−d and sends its aggregate
+// at round D−1−d. Every node is awake for at most two rounds per tree
+// operation, and can compute those rounds locally from its depth.
+package cluster

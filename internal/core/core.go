@@ -1,19 +1,3 @@
-// Package core composes the phase implementations into the paper's
-// algorithms:
-//
-//   - Algorithm 1 (Theorem 1.1): Phase I regularized Luby (phase1) →
-//     Phase II shattering (shatter) → Phase III merging + finisher
-//     (phase3, ModeAlg1). Time O(log² n), energy O(log log n).
-//   - Algorithm 2 (Theorem 1.2): Phase I degree estimation (degreduce) →
-//     Phase II → Phase III (phase3, ModeAlg2). Time
-//     O(log n·log log n·log* n), energy O(log² log n).
-//   - Luby's algorithm (the baseline the paper compares against).
-//
-// Each phase runs as its own engine invocation on the residual subgraph
-// left by the previous one; the accumulator maps per-phase energy back to
-// original node IDs, and a one-round all-awake synchronization is charged
-// at each phase boundary (the paper's Phase II starts with every node
-// awake, which plays the same role).
 package core
 
 import (
@@ -25,6 +9,7 @@ import (
 	"github.com/energymis/energymis/internal/luby"
 	"github.com/energymis/energymis/internal/phase1"
 	"github.com/energymis/energymis/internal/phase3"
+	"github.com/energymis/energymis/internal/pipeline"
 	"github.com/energymis/energymis/internal/shatter"
 	"github.com/energymis/energymis/internal/sim"
 	"github.com/energymis/energymis/internal/stats"
@@ -161,13 +146,14 @@ func runRegularizedLuby(g *graph.Graph, opts Options) (*Result, error) {
 	}, nil
 }
 
+// baseCfg is the root-seed engine configuration of a run; per-phase
+// configs derive from it via sim.Config.ForPhase.
+func (o Options) baseCfg() sim.Config {
+	return sim.Config{Seed: o.Seed, Workers: o.Workers, B: o.B, Mem: o.Mem}
+}
+
 func (o Options) simCfg(phase uint64) sim.Config {
-	return sim.Config{
-		Seed:    o.Seed ^ (phase * 0x9e3779b97f4a7c15),
-		Workers: o.Workers,
-		B:       o.B,
-		Mem:     o.Mem,
-	}
+	return o.baseCfg().ForPhase(phase)
 }
 
 func runLuby(g *graph.Graph, opts Options) (*Result, error) {
@@ -187,52 +173,49 @@ func runLuby(g *graph.Graph, opts Options) (*Result, error) {
 }
 
 func runComposed(g *graph.Graph, algo Algorithm, opts Options) (*Result, error) {
-	n := g.N()
-	acc := stats.NewAccumulator(n)
-	inSet := make([]bool, n)
+	// All phases execute on the batch runtime and share one engine buffer
+	// pool through the pipeline, so crossing a phase boundary costs zero
+	// steady-state engine allocations; callers running many simulations
+	// (the bench throughput executor) pass their own per-worker Mem.
+	pl := pipeline.New(g, opts.baseCfg())
 	diag := PhaseDiag{InputMaxDegree: g.MaxDegree()}
 
 	// --- Phase I: degree reduction ---
-	var residual []int
 	if algo == Algorithm1 || algo == Algorithm1Avg {
-		out, err := phase1.Run(g, opts.Phase1, opts.simCfg(1))
+		out, err := phase1.Run(g, opts.Phase1, pl.Cfg(1))
 		if err != nil {
 			return nil, err
 		}
-		acc.AddPhase("phase-i", out.Res, nil)
-		for v, in := range out.InSet {
-			inSet[v] = inSet[v] || in
-		}
-		residual = out.Residual
+		pl.Record("phase-i", out.Res, nil)
+		pl.Join(out.InSet, nil)
+		pl.SetResidual(out.Residual, nil)
 		diag.Phase1Iterations = out.Plan.Iterations
 	} else {
-		out, err := degreduce.Run(g, opts.DegRed, opts.simCfg(1))
+		out, err := degreduce.Run(g, opts.DegRed, pl.Cfg(1))
 		if err != nil {
 			return nil, err
 		}
 		for i, it := range out.Iters {
-			acc.AddPhase(fmt.Sprintf("phase-i.%d", i), it.Res, it.Orig)
+			pl.Record(fmt.Sprintf("phase-i.%d", i), it.Res, it.Orig)
 		}
-		for v, in := range out.InSet {
-			inSet[v] = inSet[v] || in
-		}
-		residual = out.Residual
+		pl.Join(out.InSet, nil)
+		pl.SetResidual(out.Residual, nil)
 		diag.Phase1Iterations = len(out.Iters)
 	}
-	diag.ResidualNodes = len(residual)
+	diag.ResidualNodes = len(pl.Residual())
 
 	// Phase boundary: surviving nodes wake once to learn their status.
-	acc.AddFlat("sync-i/ii", 1, toInt32(residual))
+	pl.Sync("sync-i/ii")
 
 	// --- Phase I-II (Section 4, average-energy variants only) ---
 	if algo == Algorithm1Avg || algo == Algorithm2Avg {
-		subA := graph.InducedSubgraph(g, residual)
-		ae, err := avgenergy.Run(subA.Graph, opts.AvgEn, opts.simCfg(7))
+		subA := pl.Subgraph()
+		ae, err := avgenergy.Run(subA.Graph, opts.AvgEn, pl.Cfg(7))
 		if err != nil {
 			return nil, err
 		}
 		if ae.StageARes != nil {
-			acc.AddPhase("phase-i/ii.a", ae.StageARes, subA.Orig)
+			pl.Record("phase-i/ii.a", ae.StageARes, subA.Orig)
 		}
 		if ae.StageBRes != nil {
 			// Stage B ran on a nested subgraph; compose the ID mapping.
@@ -240,35 +223,24 @@ func runComposed(g *graph.Graph, algo Algorithm, opts Options) (*Result, error) 
 			for i, v := range ae.StageBOrig {
 				borig[i] = subA.Orig[v]
 			}
-			acc.AddPhase("phase-i/ii.b", ae.StageBRes, borig)
+			pl.Record("phase-i/ii.b", ae.StageBRes, borig)
 		}
-		for v, in := range ae.InSet {
-			if in {
-				inSet[subA.Orig[v]] = true
-			}
-		}
-		next := make([]int, len(ae.Remaining))
-		for i, v := range ae.Remaining {
-			next[i] = int(subA.Orig[v])
-		}
-		residual = next
+		pl.Join(ae.InSet, subA.Orig)
+		pl.SetResidual(ae.Remaining, subA.Orig)
 		diag.FailedNodes = ae.Failed
-		acc.AddFlat("sync-i/ii-2", 1, toInt32(residual))
+		pl.Sync("sync-i/ii-2")
 	}
 
 	// --- Phase II: shattering ---
-	sub := graph.InducedSubgraph(g, residual)
+	sub := pl.Subgraph()
 	diag.ResidualMaxDegree = sub.MaxDegree()
-	sh, err := shatter.Run(sub.Graph, opts.Shatter, opts.simCfg(2))
+	sh, err := shatter.Run(sub.Graph, opts.Shatter, pl.Cfg(2))
 	if err != nil {
 		return nil, err
 	}
-	acc.AddPhase("phase-ii", sh.Res, sub.Orig)
-	for v, in := range sh.InSet {
-		if in {
-			inSet[sub.Orig[v]] = true
-		}
-	}
+	pl.Record("phase-ii", sh.Res, sub.Orig)
+	pl.Join(sh.InSet, sub.Orig)
+	pl.SetResidual(sh.Survivors, sub.Orig)
 	diag.SurvivorNodes = len(sh.Survivors)
 	diag.SurvivorComponents = len(sh.Components)
 	diag.MaxComponent = sh.MaxComponent
@@ -280,16 +252,12 @@ func runComposed(g *graph.Graph, algo Algorithm, opts Options) (*Result, error) 
 	} else {
 		p3params.Mode = phase3.ModeAlg1
 	}
-	pending := make([]int, 0, len(sh.Survivors))
-	for _, v := range sh.Survivors {
-		pending = append(pending, int(sub.Orig[v]))
-	}
-	for attempt := 0; len(pending) > 0; attempt++ {
+	for attempt := 0; len(pl.Residual()) > 0; attempt++ {
 		if attempt > opts.MaxRetry {
-			return nil, fmt.Errorf("core: %d nodes undecided after %d Phase III retries", len(pending), opts.MaxRetry)
+			return nil, fmt.Errorf("core: %d nodes undecided after %d Phase III retries", len(pl.Residual()), opts.MaxRetry)
 		}
-		sub3 := graph.InducedSubgraph(g, pending)
-		p3, err := phase3.Run(sub3.Graph, p3params, opts.simCfg(3+uint64(attempt)))
+		sub3 := pl.Subgraph()
+		p3, err := phase3.Run(sub3.Graph, p3params, pl.Cfg(3+uint64(attempt)))
 		if err != nil {
 			return nil, err
 		}
@@ -298,30 +266,22 @@ func runComposed(g *graph.Graph, algo Algorithm, opts Options) (*Result, error) 
 			name = fmt.Sprintf("phase-iii.retry%d", attempt)
 			diag.Phase3Retries++
 		}
-		acc.AddPhase(name, p3.Res, sub3.Orig)
-		for v, in := range p3.InSet {
-			if in {
-				inSet[sub3.Orig[v]] = true
-			}
-		}
+		pl.Record(name, p3.Res, sub3.Orig)
+		pl.Join(p3.InSet, sub3.Orig)
+		pl.SetResidual(p3.Undecided, sub3.Orig)
 		if p3.MaxDepth > diag.TreeDepth {
 			diag.TreeDepth = p3.MaxDepth
 		}
 		if p3.MaxAttempts > diag.FinisherAttempts {
 			diag.FinisherAttempts = p3.MaxAttempts
 		}
-		next := make([]int, 0, len(p3.Undecided))
-		for _, v := range p3.Undecided {
-			next = append(next, int(sub3.Orig[v]))
-		}
-		pending = next
 	}
 
 	return &Result{
 		Algorithm:    algo,
-		InSet:        inSet,
-		Summary:      acc.Summarize(),
-		AwakePerNode: acc.AwakePerNode(),
+		InSet:        pl.InSet(),
+		Summary:      pl.Summary(),
+		AwakePerNode: pl.AwakePerNode(),
 		Diag:         diag,
 	}, nil
 }
@@ -337,12 +297,4 @@ func RunVerified(g *graph.Graph, algo Algorithm, opts Options) (*Result, error) 
 		return nil, fmt.Errorf("core: %s produced invalid output: %w", algo, err)
 	}
 	return res, nil
-}
-
-func toInt32(xs []int) []int32 {
-	out := make([]int32, len(xs))
-	for i, x := range xs {
-		out[i] = int32(x)
-	}
-	return out
 }

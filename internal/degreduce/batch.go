@@ -1,0 +1,333 @@
+package degreduce
+
+import (
+	"slices"
+
+	"github.com/energymis/energymis/internal/graph"
+	"github.com/energymis/energymis/internal/rng"
+	"github.com/energymis/energymis/internal/schedule"
+	"github.com/energymis/energymis/internal/sim"
+)
+
+// Per-node flag bits of the batch automaton.
+const (
+	bTagged = 1 << iota
+	bPremarked
+	bMarked
+	bUnmarked
+	bJoined
+	bInactive
+	bHigh
+	bInMIS
+)
+
+// Batch is the struct-of-arrays automaton of one reduction iteration: the
+// pre-sampled participation rounds, the Lemma 2.5 wake schedules (flattened
+// into one arena with per-node offsets), the tagged-neighbor counts, and
+// the protocol flags, all in flat arrays driven whole-awake-sets at a time.
+// Random draws, wake schedules, and state transitions replicate the
+// per-node Machine exactly, so runs are byte-identical to the legacy path
+// (enforced by TestBatchMatchesLegacy).
+type Batch struct {
+	g    *graph.Graph
+	plan Plan
+	damp float64 // ResampleDamp
+	pmd  float64 // PreMarkDamp
+	pexp float64 // PreMarkExp
+
+	markedBits int32 // 1 + ceil(log2 N) of the current subgraph
+
+	rands   []rng.Stream
+	rv      []int32 // first sampled logical round; -1 = never sampled
+	av      []int32 // tagged-neighbor count observed in r_v
+	remDeg  []int32 // end window: active non-spoiled neighbor count
+	flags   []uint8
+	wakeAll []int32 // flattened sorted engine wake rounds
+	wakeOff []int32 // node v's schedule is wakeAll[wakeOff[v]:wakeOff[v+1]]
+	wi      []int32 // per-node cursor into its schedule segment
+}
+
+var _ sim.BatchMachine = (*Batch)(nil)
+
+// NewBatchIter builds the batch automaton for one iteration over g.
+func NewBatchIter(g *graph.Graph, plan Plan, p Params) *Batch {
+	return &Batch{g: g, plan: plan, damp: p.ResampleDamp, pmd: p.PreMarkDamp, pexp: p.PreMarkExp}
+}
+
+// InitAll implements sim.BatchMachine: pre-sample each node's first
+// participating round via the two sampling processes and derive its
+// S_{r_v} awake plan plus the end window.
+func (b *Batch) InitAll(env *sim.BatchEnv) []int {
+	n := b.g.N()
+	b.markedBits = int32(1 + bitsFor(env.N))
+	b.rands = make([]rng.Stream, n)
+	b.rv = make([]int32, n)
+	b.av = make([]int32, n)
+	b.remDeg = make([]int32, n)
+	b.flags = make([]uint8, n)
+	b.wakeOff = make([]int32, n+1)
+	b.wi = make([]int32, n)
+	first := make([]int, n)
+	var scratch []int32
+	for v := 0; v < n; v++ {
+		b.rands[v] = rng.ForNode(env.Seed, v)
+		r := &b.rands[v]
+		tA := r.FirstSuccess(b.plan.TagProb, b.plan.T)
+		tB := r.FirstSuccess(b.plan.PreMarkProb, b.plan.T)
+		rv := -1
+		switch {
+		case tA >= 0 && (tB < 0 || tA < tB):
+			rv = tA
+			b.flags[v] |= bTagged
+		case tB >= 0 && (tA < 0 || tB < tA):
+			rv = tB
+			b.flags[v] |= bPremarked
+		case tA >= 0 && tA == tB:
+			rv = tA
+			b.flags[v] |= bTagged | bPremarked
+		}
+		b.rv[v] = int32(rv)
+		scratch = scratch[:0]
+		if rv >= 0 {
+			for _, l := range schedule.Set(b.plan.T, rv) {
+				scratch = append(scratch, int32(4*l+3))
+			}
+			scratch = append(scratch, int32(4*rv), int32(4*rv+1), int32(4*rv+2))
+		}
+		// Every node participates in the end window.
+		for s := 0; s < 4; s++ {
+			scratch = append(scratch, int32(b.plan.endRound(s)))
+		}
+		slices.Sort(scratch)
+		scratch = dedup32(scratch)
+		b.wakeAll = append(b.wakeAll, scratch...)
+		b.wakeOff[v+1] = int32(len(b.wakeAll))
+		first[v] = int(scratch[0])
+	}
+	return first
+}
+
+func dedup32(s []int32) []int32 {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// ComposeAll implements sim.BatchMachine.
+func (b *Batch) ComposeAll(round int, awake []int32, out *sim.BatchOutbox) {
+	if round >= 4*b.plan.T {
+		b.composeEnd(round-4*b.plan.T, awake, out)
+		return
+	}
+	l, sub := int32(round/4), round%4
+	switch sub {
+	case 0:
+		for _, v := range awake {
+			if l == b.rv[v] && b.flags[v]&(bTagged|bInactive) == bTagged {
+				out.Broadcast(v, sim.Msg{Kind: kindTag, Bits: 1})
+			}
+		}
+	case 1:
+		for _, v := range awake {
+			if l == b.rv[v] && b.flags[v]&(bPremarked|bInactive) == bPremarked {
+				if b.rands[v].Bernoulli(markProb(b.plan, b.damp, b.pmd, b.pexp, int(b.av[v]))) {
+					b.flags[v] |= bMarked
+					out.Broadcast(v, sim.Msg{
+						Kind: kindMarked,
+						A:    uint64(b.av[v]),
+						Bits: b.markedBits,
+					})
+				}
+			}
+		}
+	case 2:
+		for _, v := range awake {
+			if l == b.rv[v] && b.flags[v]&(bMarked|bUnmarked|bInactive) == bMarked {
+				b.flags[v] |= bJoined | bInMIS
+				out.Broadcast(v, sim.Msg{Kind: kindJoin, Bits: 1})
+			}
+		}
+	case 3:
+		for _, v := range awake {
+			if b.flags[v]&bJoined != 0 {
+				out.Broadcast(v, sim.Msg{Kind: kindInMIS, Bits: 1})
+			}
+		}
+	}
+}
+
+func (b *Batch) composeEnd(s int, awake []int32, out *sim.BatchOutbox) {
+	switch s {
+	case 0:
+		for _, v := range awake {
+			if b.flags[v]&bJoined != 0 {
+				out.Broadcast(v, sim.Msg{Kind: kindInMIS, Bits: 1})
+			}
+		}
+	case 1:
+		// Active non-spoiled nodes announce themselves for the remaining-
+		// degree count. Spoiled = sampled but did not join.
+		for _, v := range awake {
+			if b.flags[v]&(bInactive|bJoined) == 0 && b.rv[v] < 0 {
+				out.Broadcast(v, sim.Msg{Kind: kindAlive, Bits: 1})
+			}
+		}
+	case 2:
+		for _, v := range awake {
+			if b.flags[v]&(bInactive|bJoined) == 0 && float64(b.remDeg[v]) > b.plan.HighThresh {
+				b.flags[v] |= bHigh
+				out.Broadcast(v, sim.Msg{Kind: kindHigh, Bits: 1})
+			}
+		}
+	case 3:
+		for _, v := range awake {
+			if b.flags[v]&bHigh != 0 {
+				b.flags[v] |= bJoined | bInMIS
+				out.Broadcast(v, sim.Msg{Kind: kindHiJoin, Bits: 1})
+			}
+		}
+	}
+}
+
+// DeliverAll implements sim.BatchMachine.
+func (b *Batch) DeliverAll(round int, awake []int32, in sim.Inboxes, next []int) {
+	if round >= 4*b.plan.T {
+		b.deliverEnd(round-4*b.plan.T, awake, in)
+	} else {
+		b.deliverMain(round, awake, in)
+	}
+	for i, v := range awake {
+		b.wi[v]++
+		seg := b.wakeAll[b.wakeOff[v]:b.wakeOff[v+1]]
+		if int(b.wi[v]) >= len(seg) {
+			next[i] = sim.Never
+		} else {
+			next[i] = int(seg[b.wi[v]])
+		}
+	}
+}
+
+func (b *Batch) deliverMain(round int, awake []int32, in sim.Inboxes) {
+	l, sub := int32(round/4), round%4
+	switch sub {
+	case 0:
+		for i, v := range awake {
+			if l == b.rv[v] && b.flags[v]&bInactive == 0 {
+				for _, msg := range in.At(i) {
+					if msg.Kind == kindTag {
+						b.av[v]++
+					}
+				}
+			}
+		}
+	case 1:
+		for i, v := range awake {
+			if l == b.rv[v] && b.flags[v]&bMarked != 0 {
+				for _, msg := range in.At(i) {
+					// Unmark when a marked neighbor's estimate is at least
+					// as large ("removes its marking if deg~(v) <= deg~(u)").
+					if msg.Kind == kindMarked && int32(msg.A) >= b.av[v] {
+						b.flags[v] |= bUnmarked
+						break
+					}
+				}
+			}
+		}
+	case 2:
+		for i, v := range awake {
+			if l == b.rv[v] && b.flags[v]&bJoined == 0 {
+				for _, msg := range in.At(i) {
+					if msg.Kind == kindJoin {
+						b.flags[v] |= bInactive
+						break
+					}
+				}
+			}
+		}
+	case 3:
+		for i, v := range awake {
+			if l < b.rv[v] && b.flags[v]&bJoined == 0 {
+				for _, msg := range in.At(i) {
+					if msg.Kind == kindInMIS {
+						b.flags[v] |= bInactive
+						break
+					}
+				}
+			}
+		}
+	}
+}
+
+func (b *Batch) deliverEnd(s int, awake []int32, in sim.Inboxes) {
+	switch s {
+	case 0:
+		for i, v := range awake {
+			if b.flags[v]&bJoined == 0 {
+				for _, msg := range in.At(i) {
+					if msg.Kind == kindInMIS {
+						b.flags[v] |= bInactive
+						break
+					}
+				}
+			}
+		}
+	case 1:
+		for i, v := range awake {
+			if b.flags[v]&(bInactive|bJoined) == 0 {
+				for _, msg := range in.At(i) {
+					if msg.Kind == kindAlive {
+						b.remDeg[v]++
+					}
+				}
+			}
+		}
+	case 2:
+		for i, v := range awake {
+			if b.flags[v]&bHigh != 0 {
+				for _, msg := range in.At(i) {
+					if msg.Kind == kindHigh {
+						// A high neighbor exists: do not join.
+						b.flags[v] &^= bHigh
+						break
+					}
+				}
+			}
+		}
+	case 3:
+		for i, v := range awake {
+			if b.flags[v]&bJoined == 0 {
+				for _, msg := range in.At(i) {
+					if msg.Kind == kindHiJoin {
+						b.flags[v] |= bInactive
+						break
+					}
+				}
+			}
+		}
+	}
+}
+
+// inSet returns the iteration's independent set.
+func (b *Batch) inSet() []bool {
+	out := make([]bool, len(b.flags))
+	for v := range out {
+		out[v] = b.flags[v]&bInMIS != 0
+	}
+	return out
+}
+
+// sampledCount returns the number of nodes that woke during the main
+// window (tagged or pre-marked).
+func (b *Batch) sampledCount() int {
+	n := 0
+	for _, rv := range b.rv {
+		if rv >= 0 {
+			n++
+		}
+	}
+	return n
+}

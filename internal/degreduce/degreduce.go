@@ -1,36 +1,3 @@
-// Package degreduce implements Phase I of Algorithm 2 (Section 3.1,
-// Lemmas 3.1–3.10): a degree-reduction from Δ to Δ^0.7 per iteration, with
-// every iteration costing O(log n) rounds and O(log log n) awake rounds.
-//
-// One iteration works on a graph with known degree bound Δ:
-//
-//   - Sampling of type (A): per logical round, each node flips heads with
-//     probability Δ^{-1/2}; the first heads *tags* the node in that round.
-//     Tagged nodes are used by their neighbors to estimate remaining
-//     degrees: a node that sees A_v tagged neighbors in its round
-//     estimates deg~(v) = Δ^{1/2}·A_v.
-//   - Sampling of type (B): the same process with probability 1/(2Δ^0.6);
-//     the first heads *pre-marks* the node.
-//   - A node participates only in the first round r_v in which either
-//     sampling fires (it may be both tagged and pre-marked in that round);
-//     afterwards it is "spoiled" and never acts again this iteration.
-//   - A pre-marked node re-samples itself as *marked* with probability
-//     min{1, 2Δ^0.6/(5·deg~(v))}, so the effective marking probability is
-//     min{1/(2Δ^0.6), 1/(5·deg~(v))}. Marked nodes exchange their
-//     estimates; a marked node unmarks when some marked neighbor has an
-//     estimate at least as large as its own. Survivors join the MIS.
-//   - Wake schedule: exactly as in Phase I of Algorithm 1, with a fourth
-//     sub-round per logical round in which MIS joiners announce themselves
-//     at the rounds of the Lemma 2.5 schedule S_{r_v}.
-//   - End of iteration: every node still alive wakes for a 4-round window:
-//     joiners announce; active non-spoiled nodes are counted; active nodes
-//     with more than 4Δ^0.6 active non-spoiled neighbors and no such
-//     neighbor join the MIS (Corollary 3.9 shows these high-degree nodes
-//     form an independent set w.h.p.).
-//
-// Corollary 3.2: iterating with Δ ← Δ^0.7 until Δ is polylogarithmic
-// reduces the maximum residual degree to the shattering regime in
-// O(log log Δ) iterations.
 package degreduce
 
 import (
@@ -169,7 +136,6 @@ func (m *Machine) Init(env *sim.Env) int {
 	switch {
 	case tA >= 0 && (tB < 0 || tA < tB):
 		m.rv, m.tagged = tA, true
-		m.premarked = tA == tB
 	case tB >= 0 && (tA < 0 || tB < tA):
 		m.rv, m.premarked = tB, true
 	case tA >= 0 && tA == tB:
@@ -197,16 +163,21 @@ func (m *Machine) Init(env *sim.Env) int {
 	return m.wake[0]
 }
 
-// degEstimate returns deg~ = Δ^{1/2}·A from a tagged-neighbor count. Since
+// markProbFromCount returns the re-sampling probability from a
+// tagged-neighbor count, via the degree estimate deg~ = Δ^{1/2}·A. Since
 // estimates are compared between neighbors and the scale factor is common,
 // comparisons use the raw counts.
 func (m *Machine) markProbFromCount(av int) float64 {
-	cap1 := 1 / (m.pmd * math.Pow(float64(m.plan.Delta), m.pexp))
+	return markProb(m.plan, m.damp, m.pmd, m.pexp, av)
+}
+
+func markProb(plan Plan, damp, pmd, pexp float64, av int) float64 {
+	cap1 := 1 / (pmd * math.Pow(float64(plan.Delta), pexp))
 	if av == 0 {
 		return 1 // estimate zero: resample with probability min{1, ∞}
 	}
-	est := math.Sqrt(float64(m.plan.Delta)) * float64(av)
-	p := (1 / (m.damp * est)) / cap1
+	est := math.Sqrt(float64(plan.Delta)) * float64(av)
+	p := (1 / (damp * est)) / cap1
 	// The pre-marking already applied probability cap1; re-sampling with
 	// min{1, target/cap1} yields overall min{cap1, target}.
 	if p > 1 {
@@ -407,9 +378,69 @@ type Outcome struct {
 	BoundExceeded int
 }
 
+// iterOut is one iteration's raw output, independent of engine path.
+type iterOut struct {
+	inSet   []bool
+	sampled int
+	res     *sim.Result
+}
+
+// runIterLegacy executes one iteration with per-node machines on the
+// per-node engine.
+func runIterLegacy(cur *graph.Graph, plan Plan, p Params, cfg sim.Config) (iterOut, error) {
+	machines := make([]sim.Machine, cur.N())
+	nodes := make([]*Machine, cur.N())
+	for v := range machines {
+		nodes[v] = &Machine{
+			plan: plan,
+			damp: p.ResampleDamp,
+			pmd:  p.PreMarkDamp,
+			pexp: p.PreMarkExp,
+			rv:   -1,
+		}
+		machines[v] = nodes[v]
+	}
+	res, err := sim.Run(cur, machines, cfg)
+	if err != nil {
+		return iterOut{}, err
+	}
+	it := iterOut{inSet: make([]bool, cur.N()), res: res}
+	for v, nm := range nodes {
+		it.inSet[v] = nm.InMIS
+		if nm.Sampled() {
+			it.sampled++
+		}
+	}
+	return it, nil
+}
+
+// runIterBatch executes one iteration with the struct-of-arrays automaton
+// on the batch runtime.
+func runIterBatch(cur *graph.Graph, plan Plan, p Params, cfg sim.Config) (iterOut, error) {
+	b := NewBatchIter(cur, plan, p)
+	res, err := sim.RunBatch(cur, b, cfg)
+	if err != nil {
+		return iterOut{}, err
+	}
+	return iterOut{inSet: b.inSet(), sampled: b.sampledCount(), res: res}, nil
+}
+
 // Run executes the iterated reduction on g until the degree bound falls
-// under the stopping threshold.
+// under the stopping threshold. Each iteration runs the struct-of-arrays
+// automaton on the batch runtime; results are byte-identical to RunLegacy
+// (the per-node reference, enforced by TestBatchMatchesLegacy).
 func Run(g *graph.Graph, p Params, cfg sim.Config) (*Outcome, error) {
+	return runLoop(g, p, cfg, runIterBatch)
+}
+
+// RunLegacy executes the reduction with per-node machines on the per-node
+// engine: the reference the batch path is differentially tested against.
+func RunLegacy(g *graph.Graph, p Params, cfg sim.Config) (*Outcome, error) {
+	return runLoop(g, p, cfg, runIterLegacy)
+}
+
+func runLoop(g *graph.Graph, p Params, cfg sim.Config,
+	runIter func(*graph.Graph, Plan, Params, sim.Config) (iterOut, error)) (*Outcome, error) {
 	out := &Outcome{InSet: make([]bool, g.N())}
 	stop := p.StopDelta(g.N())
 	cur := g
@@ -420,33 +451,17 @@ func Run(g *graph.Graph, p Params, cfg sim.Config) (*Outcome, error) {
 	delta := g.MaxDegree()
 	for iter := 0; delta > stop && cur.N() > 0 && iter < p.MaxIters; iter++ {
 		plan := MakePlan(g.N(), delta, p)
-		machines := make([]sim.Machine, cur.N())
-		nodes := make([]*Machine, cur.N())
-		for v := range machines {
-			nodes[v] = &Machine{
-				plan: plan,
-				damp: p.ResampleDamp,
-				pmd:  p.PreMarkDamp,
-				pexp: p.PreMarkExp,
-				rv:   -1,
-			}
-			machines[v] = nodes[v]
-		}
 		iterCfg := cfg
 		iterCfg.Seed = cfg.Seed + uint64(iter)*0x9e3779b97f4a7c15
-		res, err := sim.Run(cur, machines, iterCfg)
+		it, err := runIter(cur, plan, p, iterCfg)
 		if err != nil {
 			return nil, fmt.Errorf("degreduce iteration %d: %w", iter, err)
 		}
-		st := IterStats{Delta: delta, Nodes: cur.N(), Res: res, Orig: orig}
-		inSetLocal := make([]bool, cur.N())
-		for v, nm := range nodes {
-			if nm.InMIS {
-				inSetLocal[v] = true
+		st := IterStats{Delta: delta, Nodes: cur.N(), Res: it.res, Orig: orig, Sampled: it.sampled}
+		inSetLocal := it.inSet
+		for v, in := range inSetLocal {
+			if in {
 				out.InSet[orig[v]] = true
-			}
-			if nm.Sampled() {
-				st.Sampled++
 			}
 		}
 		restLocal := verify.Residual(cur, inSetLocal)

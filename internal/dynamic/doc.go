@@ -1,0 +1,31 @@
+// Package dynamic maintains a maximal independent set under graph churn,
+// extending the paper's sleeping model to a dynamic workload: when an edge
+// or node is inserted or removed, only the nodes in the 1–2 hop
+// neighborhood of the update wake up and repair the set, instead of the
+// whole network re-running a static algorithm.
+//
+// Model. The static algorithms assume nodes wake only by their own timers.
+// For dynamic updates we add the standard interrupt assumption of dynamic
+// distributed models (e.g. Chatterjee–Gmyr–Pandurangan, PODC 2020): the
+// adversary's topology change wakes the endpoints of the update, and a
+// node that changes its MIS status wakes its neighbors with a notification.
+// All other nodes keep sleeping. Energy is accounted exactly as in the
+// static runs — awake rounds per node — plus CONGEST messages.
+//
+// Repair. A batch of updates is applied structurally first; then
+//
+//  1. conflicts (an inserted edge with both endpoints in the set) are
+//     resolved by evicting the endpoint whose departure uncovers fewer
+//     nodes (lower degree, ties toward the higher ID);
+//  2. the uncovered region U — nodes left without a member neighbor,
+//     all within two hops of some update — is collected by local probes;
+//  3. a distributed re-election (Luby, or Ghaffari's desire-level dynamics
+//     with a Luby finisher) runs on the induced subgraph G[U] through the
+//     same sim engine as the static phases, so rounds, awake rounds and
+//     messages are measured with identical semantics.
+//
+// Correctness: eviction restores independence (only inserted edges can
+// violate it); U nodes have no member neighbors, so electing an MIS of
+// G[U] and adding it keeps independence and restores maximality. Every
+// woken node is within two hops of an update endpoint.
+package dynamic

@@ -1,23 +1,3 @@
-// Package ghaffari implements the desire-level MIS dynamics of Ghaffari
-// [Gha16], in the 1-bit-message form of [Gha19] that the paper invokes in
-// Lemma 2.6 (shattering) and Lemma 2.7 (parallel executions on small
-// components).
-//
-// Every undecided node keeps a desire level p(v), initially 1/2. Per
-// logical round, v marks itself with probability p(v) and announces the
-// mark with a single bit; v joins the MIS when it is marked and no
-// neighbor is marked. The desire level halves when some neighbor was
-// marked this round and otherwise doubles (capped at 1/2) — the 1-bit
-// feedback variant of the effective-degree rule, so that a full execution
-// costs one bit per round per edge and K independent executions can be
-// packed into K-bit CONGEST messages (used by Lemma 2.7).
-//
-// The guarantee used by the paper: after O(log deg + log 1/eps) rounds a
-// node is undecided with probability at most eps; running Θ(log Δ) rounds
-// on the whole graph therefore shatters it into small components, and
-// running Θ(log log n) rounds with K = Θ(log n) executions on a
-// poly(log n)-size component leaves at least one execution that decided
-// every node, with high probability.
 package ghaffari
 
 import (
@@ -270,8 +250,22 @@ func anySet(words []uint64) bool {
 
 // RunShatter executes one (K=1) run of the dynamics for `rounds` logical
 // rounds on g and returns the independent set found, the undecided
-// survivors, and the engine result.
+// survivors, and the engine result. It runs the struct-of-arrays automaton
+// on the batch runtime; results are byte-identical to RunShatterLegacy
+// (the per-node reference).
 func RunShatter(g *graph.Graph, rounds int, cfg sim.Config) (inSet []bool, survivors []int, res *sim.Result, err error) {
+	b := NewBatch(g, 1, rounds)
+	res, err = sim.RunBatch(g, b, cfg)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("ghaffari: %w", err)
+	}
+	return b.InMISExec(0), b.UndecidedExec(0), res, nil
+}
+
+// RunShatterLegacy executes the per-node Machine implementation on the
+// per-node engine: the reference the batch path is differentially tested
+// against.
+func RunShatterLegacy(g *graph.Graph, rounds int, cfg sim.Config) (inSet []bool, survivors []int, res *sim.Result, err error) {
 	machines := make([]sim.Machine, g.N())
 	nodes := make([]*Machine, g.N())
 	for v := range machines {

@@ -1,13 +1,3 @@
-// Package graph provides the static network substrate for the simulator:
-// compact immutable undirected graphs, a builder, induced subgraphs,
-// connected components, and breadth-first utilities.
-//
-// Graphs are stored in compressed-sparse-row (CSR) form: all adjacency
-// lists concatenated in one slice with per-node offsets. Node identifiers
-// are dense integers [0, N). Protocol-level identifiers (the distributed
-// algorithms assume unique O(log n)-bit IDs) default to the node index but
-// can be remapped when extracting subgraphs so that a node keeps its
-// original identity across phases.
 package graph
 
 import (

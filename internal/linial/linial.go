@@ -1,21 +1,3 @@
-// Package linial implements Linial's one-round color reduction [Lin92,
-// Theorem 5.1]: given a proper k-coloring of a graph with maximum degree
-// Δ, one communication round yields a proper O(Δ² log k)-coloring.
-//
-// The paper's Phase III cites this reduction for coloring the
-// low-indegree cluster graph H_L (Section 2.3 / 3.2). The production path
-// in internal/phase3 uses the Cole–Vishkin step instead, which exploits
-// H_L's out-degree-1 orientation (see DESIGN.md, substitution 4); this
-// package provides the general, orientation-free construction for the A4
-// ablation and for reuse.
-//
-// Construction: pick a prime q with q > d·Δ and q^(d+1) >= k for some
-// degree bound d. Map every color x < k to the degree-<=d polynomial p_x
-// over F_q whose coefficients are the base-q digits of x, and let
-// F_x = {(i, p_x(i)) : i in F_q} ⊂ [q²]. Two distinct polynomials agree on
-// at most d points, so the d·Δ < q points a node's neighbors can cover
-// never exhaust F_x: the node picks the smallest uncovered point as its
-// new color in [q²].
 package linial
 
 import (

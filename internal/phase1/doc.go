@@ -1,0 +1,24 @@
+// Package phase1 implements Phase I of Algorithm 1 (Section 2.1,
+// Lemma 2.1): a regularized Luby degree-reduction executed with
+// O(log log n) worst-case energy.
+//
+// The algorithm runs I iterations of R = c·log n logical rounds. In the
+// round belonging to iteration i, an undecided node is marked with
+// probability 2^i/(damp·Δ); a node is marked at most once in the whole
+// phase (one-shot marking), and a marked node that fails to join the MIS
+// is "spoiled" and never acts again. Because all marking probabilities are
+// fixed up front, every node can pre-sample the unique logical round r_v
+// in which it is marked (or conclude it never is) before round 0, and wake
+// exactly at the rounds of the Lemma 2.5 schedule S_{r_v}:
+//
+//   - at its own round r_v it is awake for all three sub-rounds and runs
+//     one Luby step against the cohort marked in the same round;
+//   - at every other scheduled round it is awake only for the third
+//     sub-round, where MIS joiners announce themselves, so the node learns
+//     before r_v whether it has been dominated.
+//
+// Never-marked nodes sleep through the entire phase (zero energy).
+// The phase guarantee (Lemma 2.1): after removing the computed independent
+// set and its neighborhood, the remaining graph has maximum degree
+// O(log² n), w.h.p.
+package phase1

@@ -21,43 +21,34 @@ type Outcome struct {
 	MaxComponent int
 }
 
-// Run executes Phase III on g: Borůvka merging from singleton clusters to
-// one rooted spanning tree per connected component, then the Lemma 2.7
-// parallel-executions finisher.
-func Run(g *graph.Graph, p Params, cfg sim.Config) (*Outcome, error) {
-	comps := graph.Components(g)
-	maxComp := 0
-	for _, c := range comps {
+// plan derives the shared run parameters: the global timetable and the
+// high-indegree threshold.
+func plan(g *graph.Graph, p Params) (tt *Timetable, thresh, comps, maxComp int) {
+	cc := graph.Components(g)
+	for _, c := range cc {
 		if len(c) > maxComp {
 			maxComp = len(c)
 		}
 	}
-	tt := NewTimetable(g.N(), maxComp, p)
-	thresh := p.IndegreeThresh
+	tt = NewTimetable(g.N(), maxComp, p)
+	thresh = p.IndegreeThresh
 	if thresh < 2 {
 		thresh = 2
 	}
-	machines := make([]sim.Machine, g.N())
-	nodes := make([]*Machine, g.N())
-	for v := range machines {
-		nodes[v] = &Machine{tt: tt, threshVal: thresh}
-		machines[v] = nodes[v]
-	}
-	if cfg.MaxRounds == 0 {
-		cfg.MaxRounds = tt.TotalLen + 2
-	}
-	res, err := sim.Run(g, machines, cfg)
-	if err != nil {
-		return nil, fmt.Errorf("phase3: %w", err)
-	}
+	return tt, thresh, len(cc), maxComp
+}
+
+// assemble extracts the Outcome from the automata after a run.
+func assemble(n int, node func(int) *Machine, tt *Timetable, res *sim.Result, comps, maxComp int) *Outcome {
 	out := &Outcome{
-		InSet:        make([]bool, g.N()),
+		InSet:        make([]bool, n),
 		Timetable:    tt,
 		Res:          res,
-		Components:   len(comps),
+		Components:   comps,
 		MaxComponent: maxComp,
 	}
-	for v, nm := range nodes {
+	for v := 0; v < n; v++ {
+		nm := node(v)
 		if nm.Decided() {
 			out.InSet[v] = nm.InMIS
 		} else {
@@ -73,5 +64,43 @@ func Run(g *graph.Graph, p Params, cfg sim.Config) (*Outcome, error) {
 			out.MaxAttempts = nm.AttemptsUsed()
 		}
 	}
-	return out, nil
+	return out
+}
+
+// Run executes Phase III on g: Borůvka merging from singleton clusters to
+// one rooted spanning tree per connected component, then the Lemma 2.7
+// parallel-executions finisher. The automata run as one flat value array
+// on the batch runtime (see Batch); results are byte-identical to
+// RunLegacy (the per-node reference).
+func Run(g *graph.Graph, p Params, cfg sim.Config) (*Outcome, error) {
+	tt, thresh, comps, maxComp := plan(g, p)
+	b := NewBatch(g, tt, thresh)
+	if cfg.MaxRounds == 0 {
+		cfg.MaxRounds = tt.TotalLen + 2
+	}
+	res, err := sim.RunBatch(g, b, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("phase3: %w", err)
+	}
+	return assemble(g.N(), b.Node, tt, res, comps, maxComp), nil
+}
+
+// RunLegacy executes Phase III with per-node machines on the per-node
+// engine: the reference the batch path is differentially tested against.
+func RunLegacy(g *graph.Graph, p Params, cfg sim.Config) (*Outcome, error) {
+	tt, thresh, comps, maxComp := plan(g, p)
+	machines := make([]sim.Machine, g.N())
+	nodes := make([]*Machine, g.N())
+	for v := range machines {
+		nodes[v] = &Machine{tt: tt, threshVal: thresh}
+		machines[v] = nodes[v]
+	}
+	if cfg.MaxRounds == 0 {
+		cfg.MaxRounds = tt.TotalLen + 2
+	}
+	res, err := sim.Run(g, machines, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("phase3: %w", err)
+	}
+	return assemble(g.N(), func(v int) *Machine { return nodes[v] }, tt, res, comps, maxComp), nil
 }

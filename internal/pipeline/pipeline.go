@@ -1,0 +1,116 @@
+package pipeline
+
+import (
+	"github.com/energymis/energymis/internal/graph"
+	"github.com/energymis/energymis/internal/sim"
+	"github.com/energymis/energymis/internal/stats"
+)
+
+// Pipeline tracks one composed run: the input graph, the accumulated
+// output set, the residual node set the next phase runs on, and the shared
+// engine resources.
+type Pipeline struct {
+	g    *graph.Graph
+	base sim.Config // root-seed config; phases derive from it via ForPhase
+
+	acc      *stats.Accumulator
+	inSet    []bool
+	residual []int // original IDs of the nodes the next phase runs on
+}
+
+// New starts a pipeline over g. base carries the root seed, worker count,
+// CONGEST budget, and the shared engine buffer pool; a nil base.Mem gets a
+// fresh pool (callers executing many pipelines pass one Mem per worker to
+// amortize engine allocations across runs — a Mem must not be shared by
+// concurrent pipelines).
+func New(g *graph.Graph, base sim.Config) *Pipeline {
+	if base.Mem == nil {
+		base.Mem = sim.NewMem()
+	}
+	n := g.N()
+	residual := make([]int, n)
+	for i := range residual {
+		residual[i] = i
+	}
+	return &Pipeline{
+		g: g, base: base,
+		acc:      stats.NewAccumulator(n),
+		inSet:    make([]bool, n),
+		residual: residual,
+	}
+}
+
+// Cfg returns the engine configuration of phase `phase`: a per-phase seed
+// derived from the root seed (sim.Config.ForPhase), and the pipeline's
+// shared Mem pool.
+func (p *Pipeline) Cfg(phase uint64) sim.Config {
+	return p.base.ForPhase(phase)
+}
+
+// Graph returns the pipeline's input graph.
+func (p *Pipeline) Graph() *graph.Graph { return p.g }
+
+// Residual returns the current residual node set in original IDs. The
+// returned slice is the pipeline's own; phases must not mutate it.
+func (p *Pipeline) Residual() []int { return p.residual }
+
+// Subgraph materializes the induced subgraph of the current residual set,
+// with Orig mapping local back to original IDs.
+func (p *Pipeline) Subgraph() *graph.Subgraph {
+	return graph.InducedSubgraph(p.g, p.residual)
+}
+
+// Record accounts one phase's engine result. origIDs[i] is the original
+// node index of phase-local node i; nil means the phase ran on the full
+// input graph.
+func (p *Pipeline) Record(name string, res *sim.Result, origIDs []int32) {
+	p.acc.AddPhase(name, res, origIDs)
+}
+
+// Join adds a phase's independent set (in phase-local IDs) to the output
+// set. origIDs follows the Record convention.
+func (p *Pipeline) Join(localInSet []bool, origIDs []int32) {
+	for v, in := range localInSet {
+		if !in {
+			continue
+		}
+		if origIDs != nil {
+			p.inSet[origIDs[v]] = true
+		} else {
+			p.inSet[v] = true
+		}
+	}
+}
+
+// SetResidual replaces the residual set with the given phase-local nodes,
+// mapped through origIDs (Record convention).
+func (p *Pipeline) SetResidual(local []int, origIDs []int32) {
+	next := make([]int, 0, len(local))
+	for _, v := range local {
+		if origIDs != nil {
+			next = append(next, int(origIDs[v]))
+		} else {
+			next = append(next, v)
+		}
+	}
+	p.residual = next
+}
+
+// Sync charges the one-round all-awake phase-boundary synchronization to
+// the current residual set.
+func (p *Pipeline) Sync(name string) {
+	nodes := make([]int32, len(p.residual))
+	for i, v := range p.residual {
+		nodes[i] = int32(v)
+	}
+	p.acc.AddFlat(name, 1, nodes)
+}
+
+// InSet returns the accumulated output set (aliased, not copied).
+func (p *Pipeline) InSet() []bool { return p.inSet }
+
+// Summary finalizes the composed complexity measures.
+func (p *Pipeline) Summary() stats.Summary { return p.acc.Summarize() }
+
+// AwakePerNode returns the composed per-node awake counts.
+func (p *Pipeline) AwakePerNode() []int64 { return p.acc.AwakePerNode() }

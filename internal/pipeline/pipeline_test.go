@@ -1,0 +1,109 @@
+package pipeline
+
+import (
+	"testing"
+
+	"github.com/energymis/energymis/internal/graph"
+	"github.com/energymis/energymis/internal/luby"
+	"github.com/energymis/energymis/internal/sim"
+	"github.com/energymis/energymis/internal/verify"
+)
+
+// TestComposition runs a two-stage Luby pipeline (full graph, then a
+// residual rerun — an artificial composition exercising every primitive)
+// and checks ID mapping, accounting, and the final set.
+func TestComposition(t *testing.T) {
+	g := graph.GNP(300, 8.0/300, 3)
+	pl := New(g, sim.Config{Seed: 42})
+
+	set1, res1, err := luby.Run(g, pl.Cfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl.Record("stage-1", res1, nil)
+	pl.Join(set1, nil)
+	pl.SetResidual(verify.Residual(g, set1), nil)
+
+	if len(pl.Residual()) != 0 {
+		// Luby decides everything; force a synthetic residual to exercise
+		// the subgraph path anyway.
+		t.Fatalf("unexpected residual %d after a full Luby run", len(pl.Residual()))
+	}
+
+	// Synthetic second stage on an explicit residual: the 50 lowest IDs.
+	local := make([]int, 50)
+	for i := range local {
+		local[i] = i
+	}
+	pl.SetResidual(local, nil)
+	pl.Sync("sync")
+	sub := pl.Subgraph()
+	if sub.Graph.N() != 50 {
+		t.Fatalf("subgraph has %d nodes, want 50", sub.Graph.N())
+	}
+	set2, res2, err := luby.Run(sub.Graph, pl.Cfg(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl.Record("stage-2", res2, sub.Orig)
+	pl.Join(set2, sub.Orig)
+
+	sum := pl.Summary()
+	if sum.Rounds != res1.Rounds+1+res2.Rounds {
+		t.Fatalf("composed rounds %d, want %d+1+%d", sum.Rounds, res1.Rounds, res2.Rounds)
+	}
+	if sum.MsgsSent != res1.MsgsSent+res2.MsgsSent {
+		t.Fatalf("composed messages %d, want %d", sum.MsgsSent, res1.MsgsSent+res2.MsgsSent)
+	}
+	// Per-node awake counts must compose through the ID mapping.
+	per := pl.AwakePerNode()
+	for v := 0; v < g.N(); v++ {
+		want := int64(res1.Awake[v])
+		if v < 50 {
+			want += 1 + int64(res2.Awake[v]) // sync charged to IDs 0..49
+		}
+		if per[v] != want {
+			t.Fatalf("AwakePerNode[%d] = %d, want %d", v, per[v], want)
+		}
+	}
+	in := pl.InSet()
+	for v, s := range set1 {
+		if s && !in[v] {
+			t.Fatalf("stage-1 member %d missing from composed set", v)
+		}
+	}
+}
+
+// TestSharedMemIdentical reruns pipelines of different sizes through one
+// shared Mem pool and checks results match fresh-buffer runs: the pool must
+// not leak any state across phases or pipelines.
+func TestSharedMemIdentical(t *testing.T) {
+	mem := sim.NewMem()
+	graphs := []*graph.Graph{
+		graph.GNP(250, 8.0/250, 1),
+		graph.GNP(80, 0.1, 2),
+		graph.Complete(40),
+	}
+	for i, g := range graphs {
+		for seed := uint64(1); seed <= 3; seed++ {
+			fresh := New(g, sim.Config{Seed: seed})
+			pooled := New(g, sim.Config{Seed: seed, Mem: mem})
+			fs, fr, err := luby.Run(g, fresh.Cfg(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ps, pr, err := luby.Run(g, pooled.Cfg(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := range fs {
+				if fs[v] != ps[v] {
+					t.Fatalf("graph %d seed %d: pooled InSet[%d] differs", i, seed, v)
+				}
+			}
+			if fr.Rounds != pr.Rounds || fr.MsgsSent != pr.MsgsSent || fr.BitsTotal != pr.BitsTotal {
+				t.Fatalf("graph %d seed %d: pooled counters differ", i, seed)
+			}
+		}
+	}
+}

@@ -1,13 +1,3 @@
-// Package rng provides deterministic, splittable pseudo-random number
-// generation for distributed-algorithm simulation.
-//
-// Every node of a simulated network owns an independent stream derived from
-// a global seed and the node's identifier. Runs are reproducible: the same
-// (seed, nodeID) pair always yields the same stream, independent of
-// scheduling order or executor parallelism. The generator is a SplitMix64
-// seeded xoshiro256++, both public-domain constructions; the standard
-// library's math/rand is avoided so that stream derivation is explicit and
-// stable across Go releases.
 package rng
 
 import "math/bits"

@@ -1,0 +1,14 @@
+// Package shatter implements Phase II of both algorithms (Section 2.2,
+// Lemma 2.6): given the poly(log n)-degree residual left by Phase I, run
+// the desire-level dynamics of [Gha16] with every node awake, so that the
+// undecided survivors form only small ("shattered") connected components.
+//
+// The phase costs O(log Δ) rounds with all nodes awake — affordable
+// because Phase I already reduced Δ to poly(log n), so this is O(log log n)
+// energy. The paper additionally clusters survivors into
+// O(log log n)-diameter clusters via [Gha16, Gha19]; as a documented
+// substitution, this implementation starts Phase III from
+// singleton clusters, which leaves Phase III's iteration count and both
+// headline complexities unchanged because components have poly(log n) size
+// either way.
+package shatter

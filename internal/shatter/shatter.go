@@ -1,16 +1,3 @@
-// Package shatter implements Phase II of both algorithms (Section 2.2,
-// Lemma 2.6): given the poly(log n)-degree residual left by Phase I, run
-// the desire-level dynamics of [Gha16] with every node awake, so that the
-// undecided survivors form only small ("shattered") connected components.
-//
-// The phase costs O(log Δ) rounds with all nodes awake — affordable
-// because Phase I already reduced Δ to poly(log n), so this is O(log log n)
-// energy. The paper additionally clusters survivors into
-// O(log log n)-diameter clusters via [Gha16, Gha19]; as documented in
-// DESIGN.md (substitution 2), this implementation starts Phase III from
-// singleton clusters, which leaves Phase III's iteration count and both
-// headline complexities unchanged because components have poly(log n) size
-// either way.
 package shatter
 
 import (
@@ -52,10 +39,23 @@ type Outcome struct {
 	Res          *sim.Result
 }
 
-// Run executes the phase on g.
+// Run executes the phase on g. The dynamics run as a struct-of-arrays
+// automaton on the batch runtime (ghaffari.Batch); results are
+// byte-identical to RunLegacy (the per-node reference).
 func Run(g *graph.Graph, p Params, cfg sim.Config) (*Outcome, error) {
+	return run(g, p, cfg, ghaffari.RunShatter)
+}
+
+// RunLegacy executes the phase with the per-node machines on the per-node
+// engine: the reference the batch path is differentially tested against.
+func RunLegacy(g *graph.Graph, p Params, cfg sim.Config) (*Outcome, error) {
+	return run(g, p, cfg, ghaffari.RunShatterLegacy)
+}
+
+func run(g *graph.Graph, p Params, cfg sim.Config,
+	shatter func(*graph.Graph, int, sim.Config) ([]bool, []int, *sim.Result, error)) (*Outcome, error) {
 	rounds := p.Rounds(g.MaxDegree())
-	inSet, survivors, res, err := ghaffari.RunShatter(g, rounds, cfg)
+	inSet, survivors, res, err := shatter(g, rounds, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("shatter: %w", err)
 	}

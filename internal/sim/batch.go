@@ -1,20 +1,7 @@
-// Batch-machine runtime: the allocation-free execution path of the engine.
-//
-// The per-node Machine interface costs two virtual calls and one inbox
-// slice per awake node per round. For protocols whose state transitions are
-// tiny (Luby-style marking steps — the hot path of every workload in this
-// repo), that dispatch and allocation overhead dominates the simulation.
-// A BatchMachine instead keeps all per-node state in flat arrays
-// (struct-of-arrays) and is driven with whole awake-sets per call: the
-// engine makes O(1) interface calls per round regardless of how many nodes
-// are awake, routes every message through one pooled buffer, and reaches
-// zero steady-state allocations per round.
-//
-// Execution semantics, delivery order, and all measured counters are
-// identical to the per-node engine in sim.go: for any protocol expressed
-// both ways, Run and RunBatch produce byte-identical Results (enforced by
-// the differential tests in the luby and phase1 packages and by
-// determinism_test.go at the repo root).
+// This file is the batch-machine runtime: the allocation-free execution
+// path of the engine. See the package documentation in doc.go for how it
+// relates to the per-node path in sim.go.
+
 package sim
 
 import (
@@ -462,12 +449,7 @@ func (a *machineAdapter) ComposeAll(round int, awake []int32, out *BatchOutbox) 
 		ob := &a.outs[v]
 		ob.reset(v, a.envs[v].Neighbors)
 		a.machines[v].Compose(round, ob)
-		for _, m := range ob.bcast {
-			out.Broadcast(v, m)
-		}
-		for _, am := range ob.msgs {
-			out.Send(v, am.to, am.msg)
-		}
+		ob.DrainTo(out)
 	}
 }
 

@@ -1,0 +1,39 @@
+// Package sim implements the synchronous CONGEST message-passing model
+// with sleeping (energy) semantics, as defined in Section 1.1 of Ghaffari &
+// Portmann (PODC 2023).
+//
+// The network is an undirected graph; computation proceeds in synchronous
+// rounds. In every round each *awake* node first composes at most one
+// message per incident edge, then receives the messages sent to it in the
+// same round by awake neighbors, and finally decides the next round in
+// which it will be awake. A sleeping node performs no computation, sends
+// nothing, receives nothing (messages addressed to it are dropped), and can
+// only wake by its own pre-arranged timer — never by a neighbor.
+//
+// The engine measures time complexity (total rounds) and energy complexity
+// (per-node awake-round counts), and accounts message sizes in bits against
+// the CONGEST budget B = O(log n).
+//
+// # Two execution paths
+//
+// The model has two interchangeable runtimes with identical semantics:
+//
+//   - The per-node path (Run): one Machine automaton per node, driven with
+//     Init/Compose/Deliver calls. Easiest to write and read, but costs two
+//     virtual calls and one inbox slice per awake node per round.
+//   - The batch path (RunBatch): one BatchMachine automaton per protocol,
+//     driven with whole awake-sets per call over flat struct-of-arrays
+//     state. The engine makes O(1) interface calls per round regardless of
+//     how many nodes are awake, routes every message through one pooled
+//     buffer, and — with a warm Mem pool — reaches zero steady-state
+//     allocations per round. Every protocol package on the hot path (luby,
+//     phase1, ghaffari, degreduce, shatter, phase3) executes this way;
+//     Adapt runs any legacy []Machine on the batch engine.
+//
+// Execution semantics, delivery order, and all measured counters are
+// identical between the two paths: for any protocol expressed both ways,
+// Run and RunBatch produce byte-identical Results (enforced by the
+// differential tests in the protocol packages and by determinism_test.go
+// at the repo root). Both paths support the deterministic parallel
+// executor (Config.Workers > 1), again with byte-identical results.
+package sim

@@ -1,18 +1,3 @@
-// Package sim implements the synchronous CONGEST message-passing model
-// with sleeping (energy) semantics, as defined in Section 1.1 of Ghaffari &
-// Portmann (PODC 2023).
-//
-// The network is an undirected graph; computation proceeds in synchronous
-// rounds. In every round each *awake* node first composes at most one
-// message per incident edge, then receives the messages sent to it in the
-// same round by awake neighbors, and finally decides the next round in
-// which it will be awake. A sleeping node performs no computation, sends
-// nothing, receives nothing (messages addressed to it are dropped), and can
-// only wake by its own pre-arranged timer — never by a neighbor.
-//
-// The engine measures time complexity (total rounds) and energy complexity
-// (per-node awake-round counts), and accounts message sizes in bits against
-// the CONGEST budget B = O(log n).
 package sim
 
 import (
@@ -108,6 +93,27 @@ func (o *Outbox) reset(node int32, neighbors []int32) {
 	o.bcast = o.bcast[:0]
 }
 
+// ResetFor prepares o to collect node `node`'s messages for one round.
+// It exists for batch drivers outside this package (see BatchMachine) that
+// execute per-node Compose logic against a scratch Outbox and then move the
+// messages into a BatchOutbox with DrainTo; the engine's own paths call the
+// unexported reset directly.
+func (o *Outbox) ResetFor(node int32, neighbors []int32) { o.reset(node, neighbors) }
+
+// DrainTo appends o's queued messages to a batch outbox under o's node as
+// the sender, broadcasts first and unicasts second, each in call order —
+// exactly the per-sender order the per-node engine's router uses, so a
+// batch driver built on per-node Compose logic stays byte-identical to the
+// per-node engine.
+func (o *Outbox) DrainTo(out *BatchOutbox) {
+	for _, m := range o.bcast {
+		out.Broadcast(o.node, m)
+	}
+	for _, am := range o.msgs {
+		out.Send(o.node, am.to, am.msg)
+	}
+}
+
 // Result reports the measured complexity of one engine run.
 type Result struct {
 	Rounds      int     // total rounds executed (time complexity)
@@ -152,6 +158,15 @@ type Config struct {
 	// Mem supplies pooled engine buffers reused across runs (see Mem). Used
 	// by the batch runtime (RunBatch); nil allocates fresh buffers.
 	Mem *Mem
+}
+
+// ForPhase derives the engine configuration of phase `phase` of a composed
+// run: an independent seed from the root seed, everything else (workers,
+// budget, Mem pool) shared. This is the single definition of the per-phase
+// seed derivation used by core and pipeline.
+func (c Config) ForPhase(phase uint64) Config {
+	c.Seed ^= phase * 0x9e3779b97f4a7c15
+	return c
 }
 
 // DefaultB returns the default CONGEST budget for an n-node network.

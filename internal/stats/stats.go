@@ -1,13 +1,3 @@
-// Package stats aggregates complexity measurements across the phases of a
-// composed algorithm.
-//
-// The paper's algorithms are compositions: Phase I runs on the input graph,
-// later phases on shrinking residual subgraphs. Each phase is a separate
-// engine invocation whose Result is indexed by *local* node IDs; the
-// Accumulator maps those back to original IDs and adds rounds, awake
-// counts, and message totals so the composed run reports exactly the
-// quantities defined in Section 1.1: time complexity (total rounds) and
-// energy complexity (maximum per-node awake rounds).
 package stats
 
 import (

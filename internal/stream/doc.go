@@ -1,0 +1,18 @@
+// Package stream generates deterministic update traces — workloads for
+// the dynamic MIS engine. A trace is a sequence of batches; each batch is
+// applied atomically by dynamic.Engine.Apply.
+//
+// Three workload classes are provided:
+//
+//   - UniformChurn: memoryless random edge toggles, the standard model for
+//     steady background churn;
+//   - SlidingWindow: edges arrive in stream order and expire after a fixed
+//     window, modeling temporal contact graphs;
+//   - HubAttack: an adaptive adversary that repeatedly kills the current
+//     maximum-degree node and reintroduces it, forcing the largest
+//     possible repair regions.
+//
+// Every generator simulates a shadow copy of the topology so that each
+// emitted update is valid when applied in order (no duplicate insertions,
+// no removals of absent edges), and is deterministic in its seed.
+package stream

@@ -1,0 +1,8 @@
+// Package verify checks the outputs of MIS algorithms and extracts
+// residual graphs between phases.
+//
+// An independent set is a node set with no internal edges; it is maximal
+// when every node outside the set has a neighbor inside. The phase
+// composition of the paper also needs the *residual* graph: the subgraph
+// induced by nodes that are neither in the computed set nor adjacent to it.
+package verify
