@@ -19,6 +19,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	rtrace "runtime/trace"
 	"strings"
 
 	"github.com/energymis/energymis/internal/bench"
@@ -41,6 +42,7 @@ func run() int {
 		quiet      = flag.Bool("q", false, "suppress per-case progress output")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the measured runs to this path")
 		memprofile = flag.String("memprofile", "", "write an allocation profile (after the runs) to this path")
+		exectrace  = flag.String("exectrace", "", "write a runtime execution trace of the measured runs to this path (view with go tool trace)")
 	)
 	flag.Parse()
 
@@ -93,6 +95,19 @@ func run() int {
 			return 2
 		}
 		defer pprof.StopCPUProfile()
+	}
+	if *exectrace != "" {
+		f, err := os.Create(*exectrace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		defer f.Close()
+		if err := rtrace.Start(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		defer rtrace.Stop()
 	}
 	report, err := bench.RunSpecs(specs, r, *quick, progress)
 	if err != nil {

@@ -7,6 +7,7 @@
 //
 //	mislab -algo algorithm1 -graph gnp -n 10000 -deg 8 -seed 1
 //	mislab -algo all -graph rgg -n 20000 -deg 12
+//	mislab -algo algorithm1 -n 10000 -trace run.jsonl   (analyze with mistrace)
 //	mislab -dynamic -stream churn -updates 1000 -n 10000
 //	mislab -dynamic -stream hub -graph ba -n 5000
 //
@@ -22,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	energymis "github.com/energymis/energymis"
 )
@@ -44,6 +46,7 @@ func run() error {
 		workers    = flag.Int("workers", 0, "parallel executor width (0 = sequential)")
 		verify     = flag.Bool("verify", true, "verify the output is a maximal independent set")
 		phases     = flag.Bool("phases", true, "print the per-phase breakdown")
+		tracePath  = flag.String("trace", "", "write a JSONL run trace here (see cmd/mistrace)")
 		dyn        = flag.Bool("dynamic", false, "maintain the MIS under an update stream")
 		streamKind = flag.String("stream", "churn", "update stream: churn, window, hub")
 		updates    = flag.Int("updates", 1000, "update-stream length (with -dynamic)")
@@ -59,6 +62,9 @@ func run() error {
 		*graphName, g.N(), g.M(), g.MaxDegree(), g.AvgDegree())
 
 	if *dyn {
+		if *tracePath != "" {
+			fmt.Fprintln(os.Stderr, "mislab: -trace only applies to static runs; ignoring")
+		}
 		return runDynamic(g, *algoName, *streamKind, *updates, *batch, *seed, *workers, *verify)
 	}
 
@@ -68,6 +74,9 @@ func run() error {
 	}
 	for _, algo := range algos {
 		opts := energymis.Options{Seed: *seed, Workers: *workers}
+		if *tracePath != "" {
+			opts.TracePath = traceFile(*tracePath, algo.String(), len(algos) > 1)
+		}
 		var res *energymis.Result
 		if *verify {
 			res, err = energymis.RunVerified(g, algo, opts)
@@ -80,6 +89,9 @@ func run() error {
 		fmt.Printf("%s: mis=%d rounds=%d maxAwake=%d p99Awake=%d avgAwake=%.2f msgs=%d bitsMax=%d\n",
 			algo, res.MISSize(), res.Rounds, res.MaxAwake, res.P99Awake, res.AvgAwake,
 			res.Messages, res.BitsMax)
+		if opts.TracePath != "" {
+			fmt.Printf("  trace: %s\n", opts.TracePath)
+		}
 		if res.CongestViolations > 0 {
 			fmt.Printf("  WARNING: %d CONGEST violations\n", res.CongestViolations)
 		}
@@ -96,6 +108,17 @@ func run() error {
 		fmt.Println()
 	}
 	return nil
+}
+
+// traceFile returns the trace path for one algorithm's run. With several
+// algorithms sharing one -trace value, the algorithm name is inserted
+// before the extension so each run keeps its own trace.
+func traceFile(path, algo string, multi bool) string {
+	if !multi {
+		return path
+	}
+	ext := filepath.Ext(path)
+	return path[:len(path)-len(ext)] + "-" + algo + ext
 }
 
 func pickAlgos(name string) ([]energymis.Algorithm, error) {

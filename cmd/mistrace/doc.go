@@ -1,0 +1,27 @@
+// Command mistrace analyzes versioned JSONL run traces produced by the
+// library's Options.TracePath (and the -trace flags of mislab and sweep).
+//
+// Usage:
+//
+//	mistrace summary [-top k] [-width n] trace.jsonl
+//	mistrace diff a.jsonl b.jsonl
+//	mistrace check trace.jsonl...
+//	mistrace csv [-o out.csv] trace.jsonl
+//
+// summary prints the run metadata, the totals from the closing summary
+// record, a per-phase table (rounds, awake node-rounds and their share,
+// messages, residual set size, wall time), the top-k phases by awake
+// node-rounds, and the awake-vs-round curve as a sparkline.
+//
+// diff aligns two traces phase by phase (retried phases pre-summed per
+// side) and prints per-phase and total deltas — e.g. to compare two
+// algorithms, two seeds, or two revisions on one workload.
+//
+// check validates internal consistency: structural invariants (summary
+// present, rounds inside phase spans, contiguous sequence numbers) and
+// conservation (per-round deltas and per-phase aggregates each sum
+// exactly to the summary the run's Result reported). Exits non-zero and
+// lists every violation if a trace fails.
+//
+// csv emits the awake-vs-round curve as CSV for plotting.
+package main

@@ -3,6 +3,7 @@ package main
 import (
 	"fmt"
 	"math"
+	"path/filepath"
 
 	energymis "github.com/energymis/energymis"
 	"github.com/energymis/energymis/internal/bench"
@@ -25,10 +26,16 @@ type measures struct {
 	bitsMax               float64
 }
 
-func measure(g *energymis.Graph, algo energymis.Algorithm, seeds int) (measures, error) {
+func measure(c sweepConfig, g *energymis.Graph, algo energymis.Algorithm) (measures, error) {
 	var m measures
+	seeds := c.seeds
 	for s := 0; s < seeds; s++ {
-		res, err := energymis.RunVerified(g, algo, energymis.Options{Seed: uint64(s) + 1})
+		opts := energymis.Options{Seed: uint64(s) + 1}
+		if c.traceDir != "" {
+			opts.TracePath = filepath.Join(c.traceDir,
+				fmt.Sprintf("%s-n%d-seed%d.jsonl", algo, g.N(), s+1))
+		}
+		res, err := energymis.RunVerified(g, algo, opts)
 		if err != nil {
 			return m, err
 		}
@@ -56,7 +63,7 @@ func runE1(c sweepConfig) error {
 	for _, n := range []int{c.n(4000), c.n(16000), c.n(65536)} {
 		g := energymis.GNP(n, 12.0/float64(n), uint64(n))
 		for _, algo := range energymis.Algorithms() {
-			m, err := measure(g, algo, c.seeds)
+			m, err := measure(c, g, algo)
 			if err != nil {
 				return err
 			}
@@ -74,7 +81,7 @@ func scalingRows(c sweepConfig, algo energymis.Algorithm) ([][]string, error) {
 	for _, base := range []int{2048, 8192, 32768, 131072} {
 		n := c.n(base)
 		g := energymis.GNP(n, 10.0/float64(n), uint64(n))
-		m, err := measure(g, algo, c.seeds)
+		m, err := measure(c, g, algo)
 		if err != nil {
 			return nil, err
 		}
@@ -233,7 +240,7 @@ func runE9(c sweepConfig) error {
 	for _, n := range []int{c.n(4000), c.n(16000), c.n(64000)} {
 		g := energymis.NearRegular(n, 24, uint64(n))
 		for _, algo := range []energymis.Algorithm{energymis.Algorithm1, energymis.Algorithm1Avg, energymis.Algorithm2Avg} {
-			m, err := measure(g, algo, c.seeds)
+			m, err := measure(c, g, algo)
 			if err != nil {
 				return err
 			}
@@ -427,7 +434,7 @@ func runG1(c sweepConfig) error {
 		n := c.n(base)
 		g := energymis.RandomGeometric(n, radius, uint64(n))
 		for _, algo := range []energymis.Algorithm{energymis.Luby, energymis.Algorithm1} {
-			m, err := measure(g, algo, c.seeds)
+			m, err := measure(c, g, algo)
 			if err != nil {
 				return err
 			}

@@ -7,6 +7,7 @@
 //
 //	sweep -e all
 //	sweep -e E1,E4,E9,D1 -seeds 3 -scale 1
+//	sweep -e E1 -scale 0.25 -trace traces/   (one JSONL run trace per measured run)
 //
 // -scale shrinks the instance sizes (0.25, 0.5, 1) to trade fidelity for
 // runtime.
@@ -21,11 +22,19 @@ import (
 
 func main() {
 	var (
-		expts = flag.String("e", "all", "comma-separated experiment IDs (E1..E10, A1..A4, D1..D2, B1, G1, all)")
-		seeds = flag.Int("seeds", 3, "seeds per configuration")
-		scale = flag.Float64("scale", 1, "instance-size multiplier")
+		expts    = flag.String("e", "all", "comma-separated experiment IDs (E1..E10, A1..A4, D1..D2, B1, G1, all)")
+		seeds    = flag.Int("seeds", 3, "seeds per configuration")
+		scale    = flag.Float64("scale", 1, "instance-size multiplier")
+		traceDir = flag.String("trace", "", "write one JSONL run trace per measured run into this directory (see cmd/mistrace)")
 	)
 	flag.Parse()
+
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+	}
 
 	registry := []experiment{
 		{"E1", "Comparison table: time and energy of all algorithms", runE1},
@@ -54,7 +63,7 @@ func main() {
 	}
 	all := want["ALL"]
 
-	cfg := sweepConfig{seeds: *seeds, scale: *scale}
+	cfg := sweepConfig{seeds: *seeds, scale: *scale, traceDir: *traceDir}
 	ran := 0
 	for _, e := range registry {
 		if !all && !want[e.id] {
@@ -75,8 +84,9 @@ func main() {
 }
 
 type sweepConfig struct {
-	seeds int
-	scale float64
+	seeds    int
+	scale    float64
+	traceDir string // when set, measure() writes one JSONL trace per run here
 }
 
 func (c sweepConfig) n(base int) int {

@@ -2,9 +2,11 @@ package energymis
 
 import (
 	"fmt"
+	"strconv"
 
 	"github.com/energymis/energymis/internal/core"
 	"github.com/energymis/energymis/internal/graph"
+	"github.com/energymis/energymis/internal/obs"
 	"github.com/energymis/energymis/internal/sim"
 	"github.com/energymis/energymis/internal/verify"
 )
@@ -101,6 +103,14 @@ type Options struct {
 	// Mem supplies a pooled engine-buffer set reused across runs (see
 	// Mem/NewMem). Nil allocates per run.
 	Mem *Mem
+	// TracePath, when non-empty, streams a versioned JSONL run trace to
+	// the given file: a header with environment metadata, one record per
+	// executed round (awake count, message/bit deltas, wall time), phase
+	// spans, and a closing summary written from the Result. Traces are
+	// deterministic in (graph, algorithm, Seed) up to wall-time fields
+	// and are analyzed with cmd/mistrace; see docs/OBSERVABILITY.md.
+	// Tracing is off (and free) when empty.
+	TracePath string
 	// Advanced exposes each phase's constants; nil uses defaults.
 	Advanced *core.Options
 }
@@ -177,11 +187,47 @@ func Run(g *Graph, algo Algorithm, opts Options) (*Result, error) {
 	if ca == 0 {
 		return nil, fmt.Errorf("energymis: unknown algorithm %d", int(algo))
 	}
-	cres, err := core.Run(g, ca, opts.toCore())
+	copts := opts.toCore()
+	var tw *obs.TraceWriter
+	if opts.TracePath != "" {
+		var err error
+		tw, err = obs.CreateTrace(opts.TracePath, map[string]string{
+			"algorithm": ca.String(),
+			"n":         strconv.Itoa(g.N()),
+			"m":         strconv.Itoa(g.M()),
+			"seed":      strconv.FormatUint(opts.Seed, 10),
+			"workers":   strconv.Itoa(opts.Workers),
+		})
+		if err != nil {
+			return nil, err
+		}
+		copts.Tracer = obs.Multi(copts.Tracer, tw)
+	}
+	cres, err := core.Run(g, ca, copts)
 	if err != nil {
+		if tw != nil {
+			tw.Close()
+		}
 		return nil, err
 	}
-	return fromCore(algo, cres), nil
+	res := fromCore(algo, cres)
+	if tw != nil {
+		// The summary comes from the Result's own accounting, so the
+		// trace's streamed counters can be checked against it
+		// (mistrace check / obs.CheckTrace).
+		s := cres.Summary
+		tw.Summary(obs.SummaryStats{
+			Rounds: s.Rounds, MaxAwake: s.MaxAwake, AvgAwake: s.AvgAwake,
+			P99Awake: s.P99Awake, AwakeTotal: s.AwakeTotal,
+			MsgsSent: s.MsgsSent, MsgsDropped: s.MsgsDropped,
+			BitsTotal: s.BitsTotal, BitsMax: s.BitsMax,
+			Violations: s.Violations, MISSize: res.MISSize(),
+		})
+		if err := tw.Close(); err != nil {
+			return nil, fmt.Errorf("energymis: writing trace %s: %w", opts.TracePath, err)
+		}
+	}
+	return res, nil
 }
 
 // RunVerified runs the algorithm and additionally checks that the output

@@ -2,11 +2,13 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/energymis/energymis/internal/avgenergy"
 	"github.com/energymis/energymis/internal/degreduce"
 	"github.com/energymis/energymis/internal/graph"
 	"github.com/energymis/energymis/internal/luby"
+	"github.com/energymis/energymis/internal/obs"
 	"github.com/energymis/energymis/internal/phase1"
 	"github.com/energymis/energymis/internal/phase3"
 	"github.com/energymis/energymis/internal/pipeline"
@@ -70,6 +72,11 @@ type Options struct {
 	// allocates per run. Used by the throughput executor to make repeated
 	// simulations allocation-free in steady state.
 	Mem *sim.Mem
+	// Tracer, when non-nil, observes the run: per-round counter deltas
+	// from the engine and phase spans from the composition layer (see
+	// internal/obs). Nil disables tracing with no measurable hot-path
+	// cost. A Tracer must not be shared by concurrent runs.
+	Tracer obs.Tracer
 
 	Phase1   phase1.Params
 	DegRed   degreduce.Params
@@ -130,11 +137,36 @@ func Run(g *graph.Graph, algo Algorithm, opts Options) (*Result, error) {
 	}
 }
 
+// tracePhase closes the single phase span of a one-engine-run baseline
+// (Luby, RegularizedLuby), mirroring what pipeline.Record emits for each
+// phase of a composed run. The baselines decide every node, so the
+// residual is always 0.
+func tracePhase(tr obs.Tracer, name string, start time.Time, res *sim.Result) {
+	if tr == nil {
+		return
+	}
+	var awake int64
+	for _, a := range res.Awake {
+		awake += int64(a)
+	}
+	tr.PhaseEnd(obs.PhaseStats{
+		Name: name, Rounds: res.Rounds, Awake: awake,
+		MsgsSent: res.MsgsSent, MsgsDropped: res.MsgsDropped,
+		Bits: res.BitsTotal, Violations: res.Violations,
+		WallNS: time.Since(start).Nanoseconds(),
+	})
+}
+
 func runRegularizedLuby(g *graph.Graph, opts Options) (*Result, error) {
+	if opts.Tracer != nil {
+		opts.Tracer.PhaseStart("reg-luby")
+	}
+	start := time.Now()
 	inSet, res, err := luby.RunRegularized(g, luby.DefaultRegularizedParams(), opts.simCfg(1))
 	if err != nil {
 		return nil, err
 	}
+	tracePhase(opts.Tracer, "reg-luby", start, res)
 	acc := stats.NewAccumulator(g.N())
 	acc.AddPhase("reg-luby", res, nil)
 	return &Result{
@@ -149,7 +181,7 @@ func runRegularizedLuby(g *graph.Graph, opts Options) (*Result, error) {
 // baseCfg is the root-seed engine configuration of a run; per-phase
 // configs derive from it via sim.Config.ForPhase.
 func (o Options) baseCfg() sim.Config {
-	return sim.Config{Seed: o.Seed, Workers: o.Workers, B: o.B, Mem: o.Mem}
+	return sim.Config{Seed: o.Seed, Workers: o.Workers, B: o.B, Mem: o.Mem, Tracer: o.Tracer}
 }
 
 func (o Options) simCfg(phase uint64) sim.Config {
@@ -157,10 +189,15 @@ func (o Options) simCfg(phase uint64) sim.Config {
 }
 
 func runLuby(g *graph.Graph, opts Options) (*Result, error) {
+	if opts.Tracer != nil {
+		opts.Tracer.PhaseStart("luby")
+	}
+	start := time.Now()
 	inSet, res, err := luby.Run(g, opts.simCfg(1))
 	if err != nil {
 		return nil, err
 	}
+	tracePhase(opts.Tracer, "luby", start, res)
 	acc := stats.NewAccumulator(g.N())
 	acc.AddPhase("luby", res, nil)
 	return &Result{
@@ -181,25 +218,31 @@ func runComposed(g *graph.Graph, algo Algorithm, opts Options) (*Result, error) 
 	diag := PhaseDiag{InputMaxDegree: g.MaxDegree()}
 
 	// --- Phase I: degree reduction ---
+	// Each phase block runs the same shape: Begin opens the trace span,
+	// the phase executes (per-round events flow to the tracer from inside
+	// the engine), then Join/SetResidual update the composed state before
+	// Record closes the span — so the span reports the post-phase residual.
 	if algo == Algorithm1 || algo == Algorithm1Avg {
+		pl.Begin("phase-i")
 		out, err := phase1.Run(g, opts.Phase1, pl.Cfg(1))
 		if err != nil {
 			return nil, err
 		}
-		pl.Record("phase-i", out.Res, nil)
 		pl.Join(out.InSet, nil)
 		pl.SetResidual(out.Residual, nil)
+		pl.Record("phase-i", out.Res, nil)
 		diag.Phase1Iterations = out.Plan.Iterations
 	} else {
+		pl.Begin("phase-i")
 		out, err := degreduce.Run(g, opts.DegRed, pl.Cfg(1))
 		if err != nil {
 			return nil, err
 		}
+		pl.Join(out.InSet, nil)
+		pl.SetResidual(out.Residual, nil)
 		for i, it := range out.Iters {
 			pl.Record(fmt.Sprintf("phase-i.%d", i), it.Res, it.Orig)
 		}
-		pl.Join(out.InSet, nil)
-		pl.SetResidual(out.Residual, nil)
 		diag.Phase1Iterations = len(out.Iters)
 	}
 	diag.ResidualNodes = len(pl.Residual())
@@ -210,10 +253,13 @@ func runComposed(g *graph.Graph, algo Algorithm, opts Options) (*Result, error) 
 	// --- Phase I-II (Section 4, average-energy variants only) ---
 	if algo == Algorithm1Avg || algo == Algorithm2Avg {
 		subA := pl.Subgraph()
+		pl.Begin("phase-i/ii")
 		ae, err := avgenergy.Run(subA.Graph, opts.AvgEn, pl.Cfg(7))
 		if err != nil {
 			return nil, err
 		}
+		pl.Join(ae.InSet, subA.Orig)
+		pl.SetResidual(ae.Remaining, subA.Orig)
 		if ae.StageARes != nil {
 			pl.Record("phase-i/ii.a", ae.StageARes, subA.Orig)
 		}
@@ -225,8 +271,6 @@ func runComposed(g *graph.Graph, algo Algorithm, opts Options) (*Result, error) 
 			}
 			pl.Record("phase-i/ii.b", ae.StageBRes, borig)
 		}
-		pl.Join(ae.InSet, subA.Orig)
-		pl.SetResidual(ae.Remaining, subA.Orig)
 		diag.FailedNodes = ae.Failed
 		pl.Sync("sync-i/ii-2")
 	}
@@ -234,13 +278,14 @@ func runComposed(g *graph.Graph, algo Algorithm, opts Options) (*Result, error) 
 	// --- Phase II: shattering ---
 	sub := pl.Subgraph()
 	diag.ResidualMaxDegree = sub.MaxDegree()
+	pl.Begin("phase-ii")
 	sh, err := shatter.Run(sub.Graph, opts.Shatter, pl.Cfg(2))
 	if err != nil {
 		return nil, err
 	}
-	pl.Record("phase-ii", sh.Res, sub.Orig)
 	pl.Join(sh.InSet, sub.Orig)
 	pl.SetResidual(sh.Survivors, sub.Orig)
+	pl.Record("phase-ii", sh.Res, sub.Orig)
 	diag.SurvivorNodes = len(sh.Survivors)
 	diag.SurvivorComponents = len(sh.Components)
 	diag.MaxComponent = sh.MaxComponent
@@ -256,19 +301,20 @@ func runComposed(g *graph.Graph, algo Algorithm, opts Options) (*Result, error) 
 		if attempt > opts.MaxRetry {
 			return nil, fmt.Errorf("core: %d nodes undecided after %d Phase III retries", len(pl.Residual()), opts.MaxRetry)
 		}
-		sub3 := pl.Subgraph()
-		p3, err := phase3.Run(sub3.Graph, p3params, pl.Cfg(3+uint64(attempt)))
-		if err != nil {
-			return nil, err
-		}
 		name := "phase-iii"
 		if attempt > 0 {
 			name = fmt.Sprintf("phase-iii.retry%d", attempt)
 			diag.Phase3Retries++
 		}
-		pl.Record(name, p3.Res, sub3.Orig)
+		sub3 := pl.Subgraph()
+		pl.Begin(name)
+		p3, err := phase3.Run(sub3.Graph, p3params, pl.Cfg(3+uint64(attempt)))
+		if err != nil {
+			return nil, err
+		}
 		pl.Join(p3.InSet, sub3.Orig)
 		pl.SetResidual(p3.Undecided, sub3.Orig)
+		pl.Record(name, p3.Res, sub3.Orig)
 		if p3.MaxDepth > diag.TreeDepth {
 			diag.TreeDepth = p3.MaxDepth
 		}

@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically named atomic counter. Safe for concurrent
+// use; the zero value is ready.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Histogram is a lock-free power-of-two histogram: Observe(v) lands in
+// bucket ⌈log2(v+1)⌉, so bucket b counts observations in [2^(b-1), 2^b).
+// Safe for concurrent use; the zero value is ready.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [65]atomic.Int64
+}
+
+// Observe records one value (negative values clamp to 0).
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+}
+
+// HistogramSnapshot is a point-in-time view of a Histogram.
+type HistogramSnapshot struct {
+	Count   int64            `json:"count"`
+	Sum     int64            `json:"sum"`
+	Mean    float64          `json:"mean"`
+	Buckets map[string]int64 `json:"buckets,omitempty"` // "le_2^b" -> count, non-empty buckets only
+}
+
+// Snapshot captures the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	if s.Count > 0 {
+		s.Mean = float64(s.Sum) / float64(s.Count)
+	}
+	for b := range h.buckets {
+		if c := h.buckets[b].Load(); c > 0 {
+			if s.Buckets == nil {
+				s.Buckets = map[string]int64{}
+			}
+			hi := int64(1) << b // bucket b holds values < 2^b
+			s.Buckets[fmt.Sprintf("lt_%d", hi)] = c
+		}
+	}
+	return s
+}
+
+// Registry is a named collection of counters and histograms — the
+// in-process metrics surface that the planned misd server will expose.
+// Get-or-create lookups take a mutex; the returned handles update
+// atomically, so hot paths fetch a handle once and hold it.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{counters: map[string]*Counter{}, hists: map[string]*Histogram{}}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot returns every metric's current value. The counters map is
+// plain name→value; histograms are nested snapshots. Key order is not
+// meaningful (JSON marshaling sorts map keys).
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	counters := make(map[string]int64, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c.Value()
+	}
+	hists := make(map[string]HistogramSnapshot, len(r.hists))
+	for name, h := range r.hists {
+		hists[name] = h.Snapshot()
+	}
+	out := map[string]any{}
+	if len(counters) > 0 {
+		out["counters"] = counters
+	}
+	if len(hists) > 0 {
+		out["histograms"] = hists
+	}
+	return out
+}
+
+// Names returns the sorted names of all registered metrics.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counters)+len(r.hists))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Publish exposes the registry on the process's expvar surface under the
+// given name (e.g. "energymis"), so any HTTP server that mounts
+// expvar.Handler serves it at /debug/vars — the seed of the misd metrics
+// endpoint. Publishing the same name twice is an error (expvar names are
+// process-global).
+func (r *Registry) Publish(name string) error {
+	if expvar.Get(name) != nil {
+		return fmt.Errorf("obs: expvar name %q already published", name)
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+	return nil
+}
+
+// RegistryTracer mirrors trace events into a Registry as live metrics:
+// totals (rounds, awake node-rounds, messages, bits), a per-round awake
+// histogram, per-round wall-time histogram, and per-phase rounds/awake
+// counters. Attach it alongside a TraceWriter via Multi, or alone when
+// only live metrics are wanted.
+type RegistryTracer struct {
+	rounds, awake, msgs, dropped, bitsC, viol, phases *Counter
+	awakeHist, wallHist                               *Histogram
+	reg                                               *Registry
+}
+
+// NewRegistryTracer returns a Tracer accumulating into reg.
+func NewRegistryTracer(reg *Registry) *RegistryTracer {
+	return &RegistryTracer{
+		rounds:    reg.Counter("rounds"),
+		awake:     reg.Counter("awake_node_rounds"),
+		msgs:      reg.Counter("msgs_sent"),
+		dropped:   reg.Counter("msgs_dropped"),
+		bitsC:     reg.Counter("bits_total"),
+		viol:      reg.Counter("congest_violations"),
+		phases:    reg.Counter("phases"),
+		awakeHist: reg.Histogram("awake_per_round"),
+		wallHist:  reg.Histogram("round_wall_ns"),
+		reg:       reg,
+	}
+}
+
+// PhaseStart implements Tracer.
+func (t *RegistryTracer) PhaseStart(string) { t.phases.Inc() }
+
+// Round implements Tracer.
+func (t *RegistryTracer) Round(r RoundStats) {
+	t.rounds.Inc()
+	t.awake.Add(int64(r.Awake))
+	t.msgs.Add(r.MsgsSent)
+	t.dropped.Add(r.MsgsDropped)
+	t.bitsC.Add(r.Bits)
+	t.viol.Add(r.Violations)
+	t.awakeHist.Observe(int64(r.Awake))
+	t.wallHist.Observe(r.WallNS)
+}
+
+// PhaseEnd implements Tracer.
+func (t *RegistryTracer) PhaseEnd(p PhaseStats) {
+	t.reg.Counter("phase." + p.Name + ".rounds").Add(int64(p.Rounds))
+	t.reg.Counter("phase." + p.Name + ".awake").Add(p.Awake)
+}

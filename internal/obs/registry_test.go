@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndHistogram(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("hits")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if reg.Counter("hits") != c {
+		t.Fatal("Counter did not return the existing handle")
+	}
+
+	h := reg.Histogram("sizes")
+	for _, v := range []int64{0, 1, 2, 3, 4, 100, -7} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 7 {
+		t.Fatalf("count = %d, want 7", s.Count)
+	}
+	if s.Sum != 110 { // -7 clamps to 0
+		t.Fatalf("sum = %d, want 110", s.Sum)
+	}
+	// 0,-7 -> lt_1; 1 -> lt_2; 2,3 -> lt_4; 4 -> lt_8; 100 -> lt_128.
+	want := map[string]int64{"lt_1": 2, "lt_2": 1, "lt_4": 2, "lt_8": 1, "lt_128": 1}
+	for k, v := range want {
+		if s.Buckets[k] != v {
+			t.Fatalf("bucket %s = %d, want %d (all: %v)", k, s.Buckets[k], v, s.Buckets)
+		}
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				reg.Counter("n").Inc()
+				reg.Histogram("h").Observe(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Counter("n").Value(); got != 8000 {
+		t.Fatalf("concurrent counter = %d, want 8000", got)
+	}
+	if got := reg.Histogram("h").Snapshot().Count; got != 8000 {
+		t.Fatalf("concurrent histogram count = %d, want 8000", got)
+	}
+}
+
+func TestRegistryTracer(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewRegistryTracer(reg)
+	tr.PhaseStart("phase-i")
+	tr.Round(RoundStats{Round: 0, Awake: 10, MsgsSent: 20, MsgsDropped: 2, Bits: 160, WallNS: 100})
+	tr.Round(RoundStats{Round: 1, Awake: 4, MsgsSent: 4, Bits: 32, WallNS: 50})
+	tr.PhaseEnd(PhaseStats{Name: "phase-i", Rounds: 2, Awake: 14, MsgsSent: 24})
+
+	for name, want := range map[string]int64{
+		"rounds": 2, "awake_node_rounds": 14, "msgs_sent": 24, "msgs_dropped": 2,
+		"bits_total": 192, "phases": 1,
+		"phase.phase-i.rounds": 2, "phase.phase-i.awake": 14,
+	} {
+		if got := reg.Counter(name).Value(); got != want {
+			t.Fatalf("counter %s = %d, want %d", name, got, want)
+		}
+	}
+	if got := reg.Histogram("awake_per_round").Snapshot().Count; got != 2 {
+		t.Fatalf("awake histogram count = %d, want 2", got)
+	}
+}
+
+func TestPublish(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x").Add(7)
+	const name = "obs_test_registry"
+	if err := reg.Publish(name); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Publish(name); err == nil {
+		t.Fatal("duplicate Publish accepted")
+	}
+	v := expvar.Get(name)
+	if v == nil {
+		t.Fatal("expvar.Get returned nil")
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal([]byte(v.String()), &snap); err != nil {
+		t.Fatalf("expvar JSON: %v", err)
+	}
+	if snap.Counters["x"] != 7 {
+		t.Fatalf("exposed counter = %d, want 7", snap.Counters["x"])
+	}
+}
+
+func TestNames(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("b")
+	reg.Counter("a")
+	reg.Histogram("c")
+	got := reg.Names()
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("Names = %v", got)
+	}
+}

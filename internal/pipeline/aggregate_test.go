@@ -1,0 +1,195 @@
+package pipeline
+
+import (
+	"testing"
+
+	"github.com/energymis/energymis/internal/graph"
+	"github.com/energymis/energymis/internal/obs"
+	"github.com/energymis/energymis/internal/sim"
+)
+
+// TestMultiPhaseAggregation drives Record/Sync with synthetic engine
+// results over shrinking residual sets (the composed-run shape: each
+// phase runs on a subgraph of the last) and checks every composed
+// measure against hand-computed expectations.
+func TestMultiPhaseAggregation(t *testing.T) {
+	const n = 10
+	g := graph.Path(n)
+
+	type phase struct {
+		name    string
+		origIDs []int32 // nil = identity over the full graph
+		awake   []int32 // per phase-local node
+		rounds  int
+		msgs    int64
+		dropped int64
+		bits    int64
+		bitsMax int
+		sync    bool // a Sync boundary instead of an engine result
+	}
+	cases := []struct {
+		name   string
+		phases []phase
+		// expectations
+		rounds     int
+		awakeTotal int64
+		maxAwake   int
+		avgAwake   float64
+		msgs       int64
+		dropped    int64
+		bits       int64
+		bitsMax    int
+		perNode    []int64
+	}{
+		{
+			name: "two-phase-shrinking",
+			phases: []phase{
+				// Phase 1 on all 10 nodes.
+				{name: "p1", awake: []int32{3, 1, 1, 1, 1, 1, 1, 1, 1, 4},
+					rounds: 5, msgs: 20, dropped: 2, bits: 160, bitsMax: 16},
+				// Residual shrinks to {0, 5, 9}; sync wakes exactly those.
+				{name: "sync", origIDs: []int32{0, 5, 9}, sync: true},
+				// Phase 2 on the 3 residual nodes (local IDs 0..2).
+				{name: "p2", origIDs: []int32{0, 5, 9}, awake: []int32{2, 1, 2},
+					rounds: 3, msgs: 4, bits: 32, bitsMax: 32},
+			},
+			rounds:     5 + 1 + 3,
+			awakeTotal: 15 + 3 + 5,
+			maxAwake:   4 + 1 + 2, // node 9: 4 in p1, sync, 2 in p2
+			avgAwake:   23.0 / 10,
+			msgs:       24,
+			dropped:    2,
+			bits:       192,
+			bitsMax:    32,
+			perNode:    []int64{6, 1, 1, 1, 1, 3, 1, 1, 1, 7},
+		},
+		{
+			name: "three-phase-chain",
+			phases: []phase{
+				{name: "a", awake: []int32{1, 1, 1, 1, 1, 1, 1, 1, 1, 1},
+					rounds: 2, msgs: 10, bits: 80, bitsMax: 8},
+				{name: "sync-1", origIDs: []int32{2, 3, 4, 5}, sync: true},
+				{name: "b", origIDs: []int32{2, 3, 4, 5}, awake: []int32{2, 2, 2, 2},
+					rounds: 4, msgs: 8, bits: 64, bitsMax: 16},
+				{name: "sync-2", origIDs: []int32{3}, sync: true},
+				{name: "c", origIDs: []int32{3}, awake: []int32{5},
+					rounds: 6, msgs: 1, dropped: 1, bits: 8, bitsMax: 8},
+			},
+			rounds:     2 + 1 + 4 + 1 + 6,
+			awakeTotal: 10 + 4 + 8 + 1 + 5,
+			maxAwake:   1 + 1 + 2 + 1 + 5, // node 3 is in every phase
+			avgAwake:   28.0 / 10,
+			msgs:       19,
+			dropped:    1,
+			bits:       152,
+			bitsMax:    16,
+			perNode:    []int64{1, 1, 4, 10, 4, 4, 1, 1, 1, 1},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pl := New(g, sim.Config{Seed: 1})
+			for _, ph := range tc.phases {
+				if ph.sync {
+					local := make([]int, len(ph.origIDs))
+					for i := range local {
+						local[i] = i
+					}
+					pl.SetResidual(local, ph.origIDs)
+					pl.Sync(ph.name)
+					continue
+				}
+				res := &sim.Result{
+					Rounds: ph.rounds, Awake: ph.awake,
+					MsgsSent: ph.msgs, MsgsDropped: ph.dropped,
+					BitsTotal: ph.bits, BitsMax: ph.bitsMax,
+				}
+				pl.Record(ph.name, res, ph.origIDs)
+			}
+
+			sum := pl.Summary()
+			if sum.Rounds != tc.rounds {
+				t.Errorf("Rounds = %d, want %d", sum.Rounds, tc.rounds)
+			}
+			if sum.AwakeTotal != tc.awakeTotal {
+				t.Errorf("AwakeTotal = %d, want %d", sum.AwakeTotal, tc.awakeTotal)
+			}
+			if sum.MaxAwake != tc.maxAwake {
+				t.Errorf("MaxAwake = %d, want %d", sum.MaxAwake, tc.maxAwake)
+			}
+			if sum.AvgAwake != tc.avgAwake {
+				t.Errorf("AvgAwake = %v, want %v", sum.AvgAwake, tc.avgAwake)
+			}
+			if sum.MsgsSent != tc.msgs {
+				t.Errorf("MsgsSent = %d, want %d", sum.MsgsSent, tc.msgs)
+			}
+			if sum.MsgsDropped != tc.dropped {
+				t.Errorf("MsgsDropped = %d, want %d", sum.MsgsDropped, tc.dropped)
+			}
+			if sum.BitsTotal != tc.bits {
+				t.Errorf("BitsTotal = %d, want %d", sum.BitsTotal, tc.bits)
+			}
+			if sum.BitsMax != tc.bitsMax {
+				t.Errorf("BitsMax = %d, want %d", sum.BitsMax, tc.bitsMax)
+			}
+			per := pl.AwakePerNode()
+			for v := range tc.perNode {
+				if per[v] != tc.perNode[v] {
+					t.Errorf("AwakePerNode[%d] = %d, want %d", v, per[v], tc.perNode[v])
+				}
+			}
+			if len(sum.Phases) != len(tc.phases) {
+				t.Errorf("%d recorded phases, want %d", len(sum.Phases), len(tc.phases))
+			}
+		})
+	}
+}
+
+// captureTracer records tracer events for inspection.
+type captureTracer struct {
+	starts []string
+	rounds []obs.RoundStats
+	phases []obs.PhaseStats
+}
+
+func (c *captureTracer) PhaseStart(name string)    { c.starts = append(c.starts, name) }
+func (c *captureTracer) Round(r obs.RoundStats)    { c.rounds = append(c.rounds, r) }
+func (c *captureTracer) PhaseEnd(p obs.PhaseStats) { c.phases = append(c.phases, p) }
+
+// TestPipelineTracerSpans checks that Begin/Record/Sync emit phase spans
+// whose aggregates mirror the recorded results, with the residual size
+// captured at record time.
+func TestPipelineTracerSpans(t *testing.T) {
+	g := graph.Path(6)
+	cap := &captureTracer{}
+	pl := New(g, sim.Config{Seed: 1, Tracer: cap})
+
+	pl.Begin("p1")
+	res := &sim.Result{Rounds: 2, Awake: []int32{1, 1, 1, 1, 1, 1}, MsgsSent: 6, BitsTotal: 48}
+	pl.SetResidual([]int{2, 4}, nil)
+	pl.Record("p1", res, nil)
+	pl.Sync("sync")
+
+	if want := []string{"p1", "sync"}; len(cap.starts) != 2 || cap.starts[0] != want[0] || cap.starts[1] != want[1] {
+		t.Fatalf("PhaseStart events %v, want %v", cap.starts, want)
+	}
+	if len(cap.phases) != 2 {
+		t.Fatalf("%d PhaseEnd events, want 2", len(cap.phases))
+	}
+	p1 := cap.phases[0]
+	if p1.Name != "p1" || p1.Rounds != 2 || p1.Awake != 6 || p1.MsgsSent != 6 || p1.Bits != 48 {
+		t.Errorf("p1 span %+v does not mirror the recorded result", p1)
+	}
+	if p1.Residual != 2 {
+		t.Errorf("p1 span residual = %d, want 2 (set before recording)", p1.Residual)
+	}
+	// Sync contributes one synthetic round over the residual set.
+	if len(cap.rounds) != 1 || cap.rounds[0].Awake != 2 {
+		t.Fatalf("sync round events %+v, want one with awake=2", cap.rounds)
+	}
+	sync := cap.phases[1]
+	if sync.Name != "sync" || sync.Rounds != 1 || sync.Awake != 2 {
+		t.Errorf("sync span %+v, want rounds=1 awake=2", sync)
+	}
+}

@@ -1,7 +1,10 @@
 package pipeline
 
 import (
+	"time"
+
 	"github.com/energymis/energymis/internal/graph"
+	"github.com/energymis/energymis/internal/obs"
 	"github.com/energymis/energymis/internal/sim"
 	"github.com/energymis/energymis/internal/stats"
 )
@@ -16,6 +19,12 @@ type Pipeline struct {
 	acc      *stats.Accumulator
 	inSet    []bool
 	residual []int // original IDs of the nodes the next phase runs on
+
+	// Observability: base.Tracer (when set) receives phase spans from
+	// Begin/Record/Sync, bracketing the per-round events the engine emits
+	// during each phase's run. spanStart anchors span wall times.
+	tracer    obs.Tracer
+	spanStart time.Time
 }
 
 // New starts a pipeline over g. base carries the root seed, worker count,
@@ -37,6 +46,18 @@ func New(g *graph.Graph, base sim.Config) *Pipeline {
 		acc:      stats.NewAccumulator(n),
 		inSet:    make([]bool, n),
 		residual: residual,
+		tracer:   base.Tracer,
+	}
+}
+
+// Begin opens a phase span: the tracer (if any) gets a PhaseStart event,
+// and per-round engine events until the matching Record are attributed to
+// this phase. Call it immediately before running a phase; a no-op without
+// a tracer.
+func (p *Pipeline) Begin(name string) {
+	if p.tracer != nil {
+		p.tracer.PhaseStart(name)
+		p.spanStart = time.Now()
 	}
 }
 
@@ -62,9 +83,42 @@ func (p *Pipeline) Subgraph() *graph.Subgraph {
 
 // Record accounts one phase's engine result. origIDs[i] is the original
 // node index of phase-local node i; nil means the phase ran on the full
-// input graph.
+// input graph. With a tracer attached, Record also closes a phase span:
+// the emitted PhaseStats carry the result's aggregates, the residual size
+// at this moment (callers update the residual before recording), and the
+// wall time since the last Begin or Record.
 func (p *Pipeline) Record(name string, res *sim.Result, origIDs []int32) {
 	p.acc.AddPhase(name, res, origIDs)
+	if p.tracer != nil {
+		var awake int64
+		for _, a := range res.Awake {
+			awake += int64(a)
+		}
+		p.tracer.PhaseEnd(obs.PhaseStats{
+			Name:        name,
+			Rounds:      res.Rounds,
+			Awake:       awake,
+			MsgsSent:    res.MsgsSent,
+			MsgsDropped: res.MsgsDropped,
+			Bits:        res.BitsTotal,
+			Violations:  res.Violations,
+			Residual:    len(p.residual),
+			WallNS:      p.sinceSpanStart(),
+		})
+	}
+}
+
+// sinceSpanStart returns the wall time since the span anchor and re-arms
+// it, so consecutive Records (phase iterations under one Begin) partition
+// the elapsed time instead of double-counting it.
+func (p *Pipeline) sinceSpanStart() int64 {
+	now := time.Now()
+	var d int64
+	if !p.spanStart.IsZero() {
+		d = now.Sub(p.spanStart).Nanoseconds()
+	}
+	p.spanStart = now
+	return d
 }
 
 // Join adds a phase's independent set (in phase-local IDs) to the output
@@ -97,13 +151,22 @@ func (p *Pipeline) SetResidual(local []int, origIDs []int32) {
 }
 
 // Sync charges the one-round all-awake phase-boundary synchronization to
-// the current residual set.
+// the current residual set. It is a real round in the model (every
+// residual node wakes once), so a tracer sees it as a complete one-round
+// phase span: PhaseStart, one Round event, PhaseEnd.
 func (p *Pipeline) Sync(name string) {
 	nodes := make([]int32, len(p.residual))
 	for i, v := range p.residual {
 		nodes[i] = int32(v)
 	}
 	p.acc.AddFlat(name, 1, nodes)
+	if p.tracer != nil {
+		p.tracer.PhaseStart(name)
+		p.tracer.Round(obs.RoundStats{Round: 0, Awake: len(nodes)})
+		p.tracer.PhaseEnd(obs.PhaseStats{
+			Name: name, Rounds: 1, Awake: int64(len(nodes)), Residual: len(p.residual),
+		})
+	}
 }
 
 // InSet returns the accumulated output set (aliased, not copied).

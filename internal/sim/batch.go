@@ -7,8 +7,10 @@ package sim
 import (
 	"fmt"
 	"slices"
+	"time"
 
 	"github.com/energymis/energymis/internal/graph"
+	"github.com/energymis/energymis/internal/obs"
 	"github.com/energymis/energymis/internal/rng"
 )
 
@@ -243,6 +245,7 @@ func (e *batchEngine) run() (*Result, error) {
 		e.bm.DeliverAll(e.curRound, e.curAwake[lo:hi], view, e.curNext[lo:hi])
 	}
 
+	tr := e.cfg.Tracer
 	for len(m.roundHeap) > 0 {
 		round := heapPop(&m.roundHeap)
 		awake := m.buckets[round]
@@ -252,6 +255,13 @@ func (e *batchEngine) run() (*Result, error) {
 		}
 		slices.Sort(awake)
 		awake = dedupSorted(awake)
+
+		var roundStart time.Time
+		var snap Result
+		if tr != nil {
+			roundStart = time.Now()
+			snap = e.res // counter snapshot; the round's deltas are diffs against it
+		}
 
 		stamp := m.stampBase + int64(round) + 1
 		for i, v := range awake {
@@ -294,6 +304,17 @@ func (e *batchEngine) run() (*Result, error) {
 			if err := e.schedule(v, next[i]); err != nil {
 				return nil, err
 			}
+		}
+		if tr != nil {
+			tr.Round(obs.RoundStats{
+				Round:       round,
+				Awake:       len(awake),
+				MsgsSent:    e.res.MsgsSent - snap.MsgsSent,
+				MsgsDropped: e.res.MsgsDropped - snap.MsgsDropped,
+				Bits:        e.res.BitsTotal - snap.BitsTotal,
+				Violations:  e.res.Violations - snap.Violations,
+				WallNS:      time.Since(roundStart).Nanoseconds(),
+			})
 		}
 		m.bucketPool = append(m.bucketPool, awake)
 		e.res.Rounds = round + 1

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"math"
 	"slices"
+	"time"
 
 	"github.com/energymis/energymis/internal/graph"
+	"github.com/energymis/energymis/internal/obs"
 	"github.com/energymis/energymis/internal/rng"
 )
 
@@ -158,6 +160,11 @@ type Config struct {
 	// Mem supplies pooled engine buffers reused across runs (see Mem). Used
 	// by the batch runtime (RunBatch); nil allocates fresh buffers.
 	Mem *Mem
+	// Tracer, when non-nil, receives one obs.RoundStats callback at the
+	// end of every executed round, carrying that round's counter deltas
+	// and wall time. Nil disables tracing at the cost of a single branch
+	// per round — the hot path is otherwise untouched.
+	Tracer obs.Tracer
 }
 
 // ForPhase derives the engine configuration of phase `phase` of a composed
@@ -290,6 +297,7 @@ func (e *engine) run() (*Result, error) {
 		}
 	}
 
+	tr := e.cfg.Tracer
 	for len(e.roundHeap) > 0 {
 		// Every scheduled round exceeds every processed round, so the
 		// heap minimum is always the next round with awake nodes; rounds
@@ -304,6 +312,13 @@ func (e *engine) run() (*Result, error) {
 		// Deduplicate: a node must not be double-scheduled, but be tolerant
 		// of identical entries.
 		awake = dedupSorted(awake)
+
+		var roundStart time.Time
+		var snap Result
+		if tr != nil {
+			roundStart = time.Now()
+			snap = e.res // counter snapshot; the round's deltas are diffs against it
+		}
 
 		stamp := int64(round) + 1
 		for _, v := range awake {
@@ -357,6 +372,17 @@ func (e *engine) run() (*Result, error) {
 					return nil, err
 				}
 			}
+		}
+		if tr != nil {
+			tr.Round(obs.RoundStats{
+				Round:       round,
+				Awake:       len(awake),
+				MsgsSent:    e.res.MsgsSent - snap.MsgsSent,
+				MsgsDropped: e.res.MsgsDropped - snap.MsgsDropped,
+				Bits:        e.res.BitsTotal - snap.BitsTotal,
+				Violations:  e.res.Violations - snap.Violations,
+				WallNS:      time.Since(roundStart).Nanoseconds(),
+			})
 		}
 		e.bucketPool = append(e.bucketPool, awake)
 		e.res.Rounds = round + 1
