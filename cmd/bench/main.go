@@ -212,11 +212,13 @@ func remeasureRegressed(specs []bench.Spec, baseline, report *bench.Report, cmp 
 				best.Reps, best.MinNS, best.MeanNS, best.MaxNS, best.StdevNS = t.Reps, t.MinNS, t.MeanNS, t.MaxNS, t.StdevNS
 				best.NSPerAwakeNodeRound = t.NSPerAwakeNodeRound
 				best.RunsPerSec = t.RunsPerSec
+				best.UpdatesPerSec = t.UpdatesPerSec
 			}
 			if t := again.Timing; t.AllocsPerAwakeNodeRound < best.AllocsPerAwakeNodeRound {
 				best.AllocsPerOp, best.BytesPerOp = t.AllocsPerOp, t.BytesPerOp
 				best.AllocsPerAwakeNodeRound = t.AllocsPerAwakeNodeRound
 				best.AllocsPerRun = t.AllocsPerRun
+				best.AllocsPerUpdate = t.AllocsPerUpdate
 			}
 			cur.Timing = best
 		}

@@ -11,7 +11,7 @@ import (
 	energymis "github.com/energymis/energymis"
 )
 
-func runDynamic(g *energymis.Graph, algoName, streamKind string, updates, batch int, seed uint64, workers int, check bool) error {
+func runDynamic(g *energymis.Graph, algoName, streamKind, tracePath string, updates, batch, window int, seed uint64, workers int, check bool) error {
 	algos, err := pickAlgos(algoName)
 	if err != nil {
 		return err
@@ -34,7 +34,9 @@ func runDynamic(g *energymis.Graph, algoName, streamKind string, updates, batch 
 		return fmt.Errorf("unknown stream %q (churn, window, hub)", streamKind)
 	}
 
-	d, err := energymis.NewDynamic(g, algo, energymis.DynamicOptions{Seed: seed, Workers: workers})
+	d, err := energymis.NewDynamic(g, algo, energymis.DynamicOptions{
+		Seed: seed, Workers: workers, Window: window, TracePath: tracePath,
+	})
 	if err != nil {
 		return err
 	}
@@ -42,15 +44,32 @@ func runDynamic(g *energymis.Graph, algoName, streamKind string, updates, batch 
 	fmt.Printf("bootstrap %s: rounds=%d awakeTotal=%d msgs=%d mis=%d\n\n",
 		algo, st0.BootstrapRounds, st0.BootstrapAwake, st0.BootstrapMessages, d.MISSize())
 
-	for i, b := range trace {
-		if _, err := d.Apply(b); err != nil {
-			return fmt.Errorf("batch %d: %w", i, err)
+	if window > 0 {
+		// Coalescing mode: hand the whole stream to the engine and let the
+		// window decide the repair batches. Per-batch Check is meaningless
+		// here (the engine re-batches), so verify once at the end.
+		if _, err := d.ApplyBatch(energymis.FlattenStream(trace)); err != nil {
+			return err
 		}
 		if check {
 			if err := d.Check(); err != nil {
-				return fmt.Errorf("batch %d: %w", i, err)
+				return err
 			}
 		}
+	} else {
+		for i, b := range trace {
+			if _, err := d.Apply(b); err != nil {
+				return fmt.Errorf("batch %d: %w", i, err)
+			}
+			if check {
+				if err := d.Check(); err != nil {
+					return fmt.Errorf("batch %d: %w", i, err)
+				}
+			}
+		}
+	}
+	if err := d.Close(); err != nil {
+		return err
 	}
 	st := d.Stats()
 	fmt.Printf("stream %s: batches=%d updates=%d elections=%d\n",
@@ -65,6 +84,9 @@ func runDynamic(g *energymis.Graph, algoName, streamKind string, updates, batch 
 		float64(st.Messages)/float64(st.Updates), st.MaxRegion)
 	fmt.Printf("churn: evictions=%d joins=%d | final: n=%d m=%d mis=%d\n",
 		st.Evictions, st.Joins, d.AliveCount(), d.M(), d.MISSize())
+	if tracePath != "" {
+		fmt.Printf("trace: %s\n", tracePath)
+	}
 
 	// What the static alternative would spend per update, on the final
 	// topology.

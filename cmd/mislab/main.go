@@ -9,6 +9,7 @@
 //	mislab -algo all -graph rgg -n 20000 -deg 12
 //	mislab -algo algorithm1 -n 10000 -trace run.jsonl   (analyze with mistrace)
 //	mislab -dynamic -stream churn -updates 1000 -n 10000
+//	mislab -dynamic -window 64 -trace dyn.jsonl -n 10000
 //	mislab -dynamic -stream hub -graph ba -n 5000
 //
 // Graphs: gnp, rgg, udg, ba, grid, tree, reg, clique, star, path,
@@ -51,6 +52,7 @@ func run() error {
 		streamKind = flag.String("stream", "churn", "update stream: churn, window, hub")
 		updates    = flag.Int("updates", 1000, "update-stream length (with -dynamic)")
 		batch      = flag.Int("batch", 1, "updates per batch (with -dynamic, churn stream)")
+		window     = flag.Int("window", 0, "coalesce updates into repair batches of this size (with -dynamic; 0 = apply stream batches as generated)")
 	)
 	flag.Parse()
 
@@ -62,10 +64,7 @@ func run() error {
 		*graphName, g.N(), g.M(), g.MaxDegree(), g.AvgDegree())
 
 	if *dyn {
-		if *tracePath != "" {
-			fmt.Fprintln(os.Stderr, "mislab: -trace only applies to static runs; ignoring")
-		}
-		return runDynamic(g, *algoName, *streamKind, *updates, *batch, *seed, *workers, *verify)
+		return runDynamic(g, *algoName, *streamKind, *tracePath, *updates, *batch, *window, *seed, *workers, *verify)
 	}
 
 	algos, err := pickAlgos(*algoName)

@@ -4,9 +4,11 @@ package main
 //
 //	D1 — repair vs. per-update recompute under uniform churn
 //	D2 — repair cost across stream classes (churn, window, hub attack)
+//	D3 — sustained updates/sec vs. the coalescing window, per stream class
 
 import (
 	"fmt"
+	"time"
 
 	energymis "github.com/energymis/energymis"
 )
@@ -117,4 +119,95 @@ func runD2(c sweepConfig) error {
 	table([]string{"stream", "updates", "batches", "awake/update", "msgs/update",
 		"max region", "evictions", "joins"}, rows)
 	return nil
+}
+
+// D3: sustained update throughput against the coalescing window, per
+// stream class. The engine starts from a greedy MIS (no bootstrap) so the
+// wall clock measures pure repair throughput; each configuration keeps the
+// best of -seeds timed replays. These numbers are wall-clock and
+// machine-dependent — the gated, reproducible twins live in the bench
+// harness's dynamic-throughput suite (BENCH_MIS.json).
+func runD3(c sweepConfig) error {
+	windows := []int{1, 8, 64, 256}
+	upd := func(base int) int {
+		u := int(float64(base) * c.scale)
+		if u < 256 {
+			u = 256
+		}
+		return u
+	}
+	type class struct {
+		name string
+		g    *energymis.Graph
+		flat []energymis.Update
+	}
+	var classes []class
+	{
+		n := c.n(50000)
+		g := energymis.GNP(n, 8.0/float64(n), 5)
+		classes = append(classes, class{"uniform-churn", g,
+			energymis.FlattenStream(energymis.ChurnStream(g, upd(12800), 1, 6))})
+	}
+	{
+		n := c.n(20000)
+		g := energymis.NewBuilder(n).Build()
+		classes = append(classes, class{"sliding-window", g,
+			energymis.FlattenStream(energymis.WindowStream(n, 500, upd(6400), 6))})
+	}
+	{
+		n := c.n(10000)
+		g := energymis.BarabasiAlbert(n, 4, 6)
+		classes = append(classes, class{"hub-attack", g,
+			energymis.FlattenStream(energymis.HubAttackStream(g, upd(200), 6))})
+	}
+	reps := c.seeds
+	if reps < 1 {
+		reps = 1
+	}
+	var rows [][]string
+	for _, cl := range classes {
+		inSet := energymis.GreedyMIS(cl.g)
+		for _, w := range windows {
+			var best float64
+			var st energymis.DynamicStats
+			for rep := 0; rep < reps; rep++ {
+				d, err := energymis.NewDynamicFrom(cl.g, inSet, energymis.DynamicOptions{Seed: 9, Window: w})
+				if err != nil {
+					return err
+				}
+				start := time.Now()
+				if _, err := d.ApplyBatch(cl.flat); err != nil {
+					return fmt.Errorf("D3 %s w=%d: %w", cl.name, w, err)
+				}
+				elapsed := time.Since(start).Seconds()
+				if ups := float64(len(cl.flat)) / elapsed; ups > best {
+					best = ups
+				}
+				if rep == 0 {
+					if err := d.Check(); err != nil {
+						return fmt.Errorf("D3 %s w=%d: %w", cl.name, w, err)
+					}
+					st = d.Stats()
+				}
+			}
+			rows = append(rows, []string{
+				cl.name, i0(cl.g.N()), i0(int(st.Updates)), i0(w), i0(int(st.Batches)),
+				fmt.Sprintf("%.0f", best),
+				f2(float64(st.AwakeTotal) / float64(max64(st.Updates, 1))),
+			})
+		}
+	}
+	headers := []string{"stream", "n", "updates", "window", "batches", "updates/sec", "awake/update"}
+	table(headers, rows)
+	fmt.Println()
+	fmt.Println("(wall-clock best of " + i0(reps) + " replays; gated twins: bench suite dynamic-throughput)")
+	return c.writeCSV("D3.csv",
+		[]string{"stream", "n", "updates", "window", "batches", "updates_per_sec", "awake_per_update"}, rows)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }

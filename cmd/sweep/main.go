@@ -1,5 +1,5 @@
 // Command sweep regenerates the paper-reproduction experiments (E1–E10),
-// the ablations (A1–A4), the dynamic-MIS experiments (D1–D2), the bench
+// the ablations (A1–A4), the dynamic-MIS experiments (D1–D3), the bench
 // twin (B1), and the unit-disk scenario (G1), printing each as a markdown
 // table (see the registry below for what each one measures).
 //
@@ -8,6 +8,7 @@
 //	sweep -e all
 //	sweep -e E1,E4,E9,D1 -seeds 3 -scale 1
 //	sweep -e E1 -scale 0.25 -trace traces/   (one JSONL run trace per measured run)
+//	sweep -e D3 -csv out/                    (plot-ready CSV next to the table)
 //
 // -scale shrinks the instance sizes (0.25, 0.5, 1) to trade fidelity for
 // runtime.
@@ -17,20 +18,25 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 )
 
 func main() {
 	var (
-		expts    = flag.String("e", "all", "comma-separated experiment IDs (E1..E10, A1..A4, D1..D2, B1, G1, all)")
+		expts    = flag.String("e", "all", "comma-separated experiment IDs (E1..E10, A1..A4, D1..D3, B1, G1, all)")
 		seeds    = flag.Int("seeds", 3, "seeds per configuration")
 		scale    = flag.Float64("scale", 1, "instance-size multiplier")
 		traceDir = flag.String("trace", "", "write one JSONL run trace per measured run into this directory (see cmd/mistrace)")
+		csvDir   = flag.String("csv", "", "write plot-ready CSV files for experiments that emit them into this directory")
 	)
 	flag.Parse()
 
-	if *traceDir != "" {
-		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+	for _, dir := range []string{*traceDir, *csvDir} {
+		if dir == "" {
+			continue
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "sweep:", err)
 			os.Exit(1)
 		}
@@ -53,6 +59,7 @@ func main() {
 		{"A4", "Ablation: CV coloring depth vs Linial palette trajectory", runA4},
 		{"D1", "Dynamic MIS: localized repair vs per-update recompute", runD1},
 		{"D2", "Dynamic MIS: repair cost across update-stream classes", runD2},
+		{"D3", "Dynamic MIS: updates/sec vs batch window across stream classes", runD3},
 		{"B1", "Benchmark harness: quick suites (twin of BENCH_MIS.json)", runB1},
 		{"G1", "Unit-disk sensor field: fixed radius, growing density", runG1},
 	}
@@ -63,7 +70,7 @@ func main() {
 	}
 	all := want["ALL"]
 
-	cfg := sweepConfig{seeds: *seeds, scale: *scale, traceDir: *traceDir}
+	cfg := sweepConfig{seeds: *seeds, scale: *scale, traceDir: *traceDir, csvDir: *csvDir}
 	ran := 0
 	for _, e := range registry {
 		if !all && !want[e.id] {
@@ -78,7 +85,7 @@ func main() {
 		ran++
 	}
 	if ran == 0 {
-		fmt.Fprintln(os.Stderr, "no experiments matched; use -e all or E1..E10, A1..A4, D1..D2, B1, G1")
+		fmt.Fprintln(os.Stderr, "no experiments matched; use -e all or E1..E10, A1..A4, D1..D3, B1, G1")
 		os.Exit(1)
 	}
 }
@@ -87,6 +94,26 @@ type sweepConfig struct {
 	seeds    int
 	scale    float64
 	traceDir string // when set, measure() writes one JSONL trace per run here
+	csvDir   string // when set, experiments with CSV output write it here
+}
+
+// writeCSV saves one experiment's rows as <csvDir>/<name>; a no-op when
+// -csv was not given.
+func (c sweepConfig) writeCSV(name string, headers []string, rows [][]string) error {
+	if c.csvDir == "" {
+		return nil
+	}
+	path := filepath.Join(c.csvDir, name)
+	var b strings.Builder
+	b.WriteString(strings.Join(headers, ",") + "\n")
+	for _, r := range rows {
+		b.WriteString(strings.Join(r, ",") + "\n")
+	}
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("(wrote %s)\n", path)
+	return nil
 }
 
 func (c sweepConfig) n(base int) int {

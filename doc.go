@@ -28,4 +28,18 @@
 // Every run is deterministic in (graph, algorithm, Options.Seed) and
 // validates nothing by itself; use RunVerified to also check maximality
 // and independence of the output.
+//
+// Beyond one-shot runs, DynamicMIS maintains the set under edge/node
+// churn: updates (InsEdge, DelEdge, InsNode, DelNode) are applied through
+// ApplyBatch, which coalesces them into windows of DynamicOptions.Window
+// and repairs each window with one localized re-election on the batch
+// engine — when a repair returns, IsValidMIS holds on the current
+// topology. See docs/DYNAMIC.md for the update contract, the
+// coalesce-and-repair model, energy accounting, and window tuning:
+//
+//	d, err := energymis.NewDynamic(g, energymis.Algorithm1,
+//	    energymis.DynamicOptions{Seed: 42, Window: 64})
+//	if err != nil { ... }
+//	d.ApplyBatch(energymis.FlattenStream(energymis.ChurnStream(g, 1000, 1, 7)))
+//	fmt.Println(d.IsValidMIS(), d.Stats().AwakeTotal)
 package energymis

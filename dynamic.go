@@ -2,15 +2,19 @@ package energymis
 
 import (
 	"fmt"
+	"sort"
+	"strconv"
 
 	"github.com/energymis/energymis/internal/core"
 	"github.com/energymis/energymis/internal/dynamic"
+	"github.com/energymis/energymis/internal/obs"
 	"github.com/energymis/energymis/internal/stream"
 )
 
 // Update is one topology change for a DynamicMIS. Build updates with
-// InsEdge/DelEdge/InsNode/DelNode and apply them with Apply (batched) or
-// the per-update convenience methods.
+// InsEdge/DelEdge/InsNode/DelNode and apply them with ApplyBatch
+// (window-coalesced), Apply (one batch) or the per-update convenience
+// methods.
 type Update = dynamic.Update
 
 // UpdateOp identifies the kind of an Update.
@@ -48,14 +52,16 @@ const (
 	RepairGhaffari = dynamic.RepairGhaffari
 )
 
-// BatchStats is the measured cost of one update batch.
+// BatchStats is the measured cost of one update batch (or, from
+// ApplyBatch, the aggregate over the windows it applied).
 type BatchStats = dynamic.BatchStats
 
 // DynamicStats is the cumulative cost of a DynamicMIS lifetime.
 type DynamicStats = dynamic.Stats
 
 // DynamicOptions configures a DynamicMIS. The zero value is valid: seed 0,
-// Luby repairs, sequential execution, default CONGEST budget.
+// Luby repairs, sequential execution, default CONGEST budget, batch-engine
+// repairs, no coalescing window.
 type DynamicOptions struct {
 	// Seed drives the bootstrap run and all repair randomness.
 	Seed uint64
@@ -68,6 +74,24 @@ type DynamicOptions struct {
 	// SelfCheck validates the MIS invariant after every batch (O(n+m);
 	// meant for tests).
 	SelfCheck bool
+	// Window > 0 makes ApplyBatch coalesce updates into repairs of at
+	// most Window updates each; 0 repairs each ApplyBatch slice as a
+	// single batch. Larger windows merge overlapping repair regions
+	// (higher throughput, higher per-repair latency); see docs/DYNAMIC.md
+	// for tuning.
+	Window int
+	// Legacy selects the per-node reference repair path (identical sets
+	// and counters; for differential testing and head-to-head
+	// benchmarks). Incompatible with TracePath.
+	Legacy bool
+	// TracePath, when non-empty, streams a versioned JSONL trace of every
+	// repair to the given file: election phase spans ("repair/luby",
+	// "repair/ghaffari", "repair/finisher"), per-round engine events, and
+	// one synthetic "repair/detect" span per batch carrying the
+	// detection-round cost. Call Close to write the summary record; the
+	// summary covers repairs only (not the bootstrap), so mistrace check
+	// proves the streamed spans reproduce the engine's repair totals.
+	TracePath string
 }
 
 // DynamicMIS maintains a maximal independent set under edge and node
@@ -75,15 +99,69 @@ type DynamicOptions struct {
 // the change and repairs the set with a localized re-election, instead of
 // re-running a static algorithm on the whole network; rounds, per-node
 // awake rounds, and messages are accounted with the same semantics as
-// static runs.
+// static runs. Repairs execute on the SoA batch engine (see
+// docs/DYNAMIC.md); DynamicOptions.Legacy selects the per-node reference
+// path.
 type DynamicMIS struct {
-	eng  *dynamic.Engine
-	algo Algorithm
+	eng    *dynamic.Engine
+	algo   Algorithm
+	window int
+
+	// Tracing state: the open writer and the per-node awake ledger at
+	// trace start, so Close can summarize exactly the traced window.
+	tw        *obs.TraceWriter
+	tracePath string
+	awakeBase []int64
+}
+
+func newDynamicMIS(g *Graph, inSet []bool, algo Algorithm, algoName string, opts DynamicOptions) (*DynamicMIS, error) {
+	if opts.Legacy && opts.TracePath != "" {
+		return nil, fmt.Errorf("energymis: tracing requires the batch repair path (Legacy=false)")
+	}
+	d := &DynamicMIS{algo: algo, window: opts.Window, tracePath: opts.TracePath}
+	params := dynamic.Params{
+		Seed:      opts.Seed,
+		Repair:    opts.Repair,
+		B:         opts.B,
+		Workers:   opts.Workers,
+		SelfCheck: opts.SelfCheck,
+		Legacy:    opts.Legacy,
+	}
+	if params.Repair == 0 {
+		params.Repair = RepairLuby
+	}
+	if opts.TracePath != "" {
+		tw, err := obs.CreateTrace(opts.TracePath, map[string]string{
+			"algorithm": algoName,
+			"mode":      "dynamic",
+			"repair":    params.Repair.String(),
+			"n":         strconv.Itoa(g.N()),
+			"m":         strconv.Itoa(g.M()),
+			"seed":      strconv.FormatUint(opts.Seed, 10),
+			"workers":   strconv.Itoa(opts.Workers),
+			"window":    strconv.Itoa(opts.Window),
+		})
+		if err != nil {
+			return nil, err
+		}
+		d.tw = tw
+		params.Tracer = tw
+	}
+	eng, err := dynamic.New(g, inSet, params)
+	if err != nil {
+		if d.tw != nil {
+			d.tw.Close()
+		}
+		return nil, err
+	}
+	d.eng = eng
+	return d, nil
 }
 
 // NewDynamic bootstraps a dynamic MIS on g by running the static algorithm
 // algo, then maintains the set under updates. The bootstrap cost is
-// recorded in DynamicStats' Bootstrap fields.
+// recorded in DynamicStats' Bootstrap fields. When DynamicOptions.TracePath
+// is set, call Close after the last update to finalize the trace.
 func NewDynamic(g *Graph, algo Algorithm, opts DynamicOptions) (*DynamicMIS, error) {
 	ca := algo.toCore()
 	if ca == 0 {
@@ -97,22 +175,40 @@ func NewDynamic(g *Graph, algo Algorithm, opts DynamicOptions) (*DynamicMIS, err
 	if err != nil {
 		return nil, fmt.Errorf("energymis: dynamic bootstrap: %w", err)
 	}
-	eng, err := dynamic.New(g, res.InSet, dynamic.Params{
-		Seed:      opts.Seed,
-		Repair:    opts.Repair,
-		B:         opts.B,
-		Workers:   opts.Workers,
-		SelfCheck: opts.SelfCheck,
-	})
+	d, err := newDynamicMIS(g, res.InSet, algo, ca.String(), opts)
 	if err != nil {
 		return nil, err
 	}
-	eng.NoteBootstrap(res.Summary.Rounds, res.AwakePerNode, res.Summary.MsgsSent)
-	return &DynamicMIS{eng: eng, algo: algo}, nil
+	s := res.Summary
+	d.eng.NoteBootstrap(dynamic.BootstrapCost{
+		Rounds:       s.Rounds,
+		AwakePerNode: res.AwakePerNode,
+		Messages:     s.MsgsSent,
+		MsgsDropped:  s.MsgsDropped,
+		Bits:         s.BitsTotal,
+		BitsMax:      s.BitsMax,
+		Violations:   s.Violations,
+	})
+	if d.tw != nil {
+		d.awakeBase = d.eng.AwakePerNode()
+	}
+	return d, nil
 }
 
-// Algorithm returns the static algorithm used for the bootstrap.
+// NewDynamicFrom wraps an existing maximal independent set of g (for
+// example GreedyMIS(g), or the InSet of a previous Run) in a dynamic
+// engine without paying for a bootstrap run; the Bootstrap fields of
+// DynamicStats stay zero. The set is validated; inSet is copied.
+func NewDynamicFrom(g *Graph, inSet []bool, opts DynamicOptions) (*DynamicMIS, error) {
+	return newDynamicMIS(g, inSet, 0, "external", opts)
+}
+
+// Algorithm returns the static algorithm used for the bootstrap (0 for
+// NewDynamicFrom).
 func (d *DynamicMIS) Algorithm() Algorithm { return d.algo }
+
+// Window returns the ApplyBatch coalescing window (0 = whole slice).
+func (d *DynamicMIS) Window() int { return d.window }
 
 // InsertEdge inserts the edge {u, v} and repairs the set.
 func (d *DynamicMIS) InsertEdge(u, v int) (BatchStats, error) { return d.eng.InsertEdge(u, v) }
@@ -131,6 +227,34 @@ func (d *DynamicMIS) RemoveNode(v int) (BatchStats, error) { return d.eng.Remove
 // Apply applies a batch of updates atomically with a single repair pass;
 // overlapping affected regions are re-elected together.
 func (d *DynamicMIS) Apply(batch []Update) (BatchStats, error) { return d.eng.Apply(batch) }
+
+// ApplyBatch applies a stream of updates through the coalescing window
+// (DynamicOptions.Window): each window of updates is repaired in one
+// batch, merging overlapping regions. With Window 0 (or a stream no
+// longer than the window) it is one Apply call. The returned BatchStats
+// aggregate all windows; the set is fully repaired when ApplyBatch
+// returns.
+func (d *DynamicMIS) ApplyBatch(updates []Update) (BatchStats, error) {
+	if len(updates) == 0 {
+		return BatchStats{}, nil
+	}
+	if d.window <= 0 || d.window >= len(updates) {
+		return d.eng.Apply(updates)
+	}
+	var agg BatchStats
+	for start := 0; start < len(updates); start += d.window {
+		end := start + d.window
+		if end > len(updates) {
+			end = len(updates)
+		}
+		bs, err := d.eng.Apply(updates[start:end])
+		agg.Add(bs)
+		if err != nil {
+			return agg, err
+		}
+	}
+	return agg, nil
+}
 
 // InSet returns a copy of the membership vector indexed by slot; dead
 // slots are false.
@@ -191,6 +315,53 @@ func (d *DynamicMIS) AwakePerNode() []int64 { return d.eng.AwakePerNode() }
 // the current topology.
 func (d *DynamicMIS) Check() error { return d.eng.Check() }
 
+// IsValidMIS reports whether the maintained set is currently a maximal
+// independent set of the topology — the per-update invariant of the
+// update contract (docs/DYNAMIC.md). Check returns the reason when it is
+// not.
+func (d *DynamicMIS) IsValidMIS() bool { return d.eng.Check() == nil }
+
+// Close finalizes the run trace, writing a summary record computed from
+// the engine's repair totals (so `mistrace check` can verify the streamed
+// spans reproduce them) and closing the file. A no-op without TracePath;
+// safe to call more than once. Updates applied after Close are not traced
+// but are otherwise unaffected.
+func (d *DynamicMIS) Close() error {
+	if d.tw == nil {
+		return nil
+	}
+	tw := d.tw
+	d.tw = nil
+	st := d.eng.Stats()
+	awake := d.eng.AwakePerNode()
+	for v, base := range d.awakeBase {
+		if v < len(awake) {
+			awake[v] -= base
+		}
+	}
+	sort.Slice(awake, func(i, j int) bool { return awake[i] < awake[j] })
+	sum := obs.SummaryStats{
+		Rounds:      int(st.Rounds),
+		AwakeTotal:  st.AwakeTotal,
+		MsgsSent:    st.Messages,
+		MsgsDropped: st.MsgsDropped,
+		BitsTotal:   st.Bits,
+		BitsMax:     st.BitsMax,
+		Violations:  st.Violations,
+		MISSize:     d.MISSize(),
+	}
+	if n := len(awake); n > 0 {
+		sum.MaxAwake = int(awake[n-1])
+		sum.AvgAwake = float64(st.AwakeTotal) / float64(n)
+		sum.P99Awake = int(awake[(n-1)*99/100])
+	}
+	tw.Summary(sum)
+	if err := tw.Close(); err != nil {
+		return fmt.Errorf("energymis: writing trace %s: %w", d.tracePath, err)
+	}
+	return nil
+}
+
 // Update-stream generators: deterministic workload traces for DynamicMIS.
 
 // ChurnStream emits steps batches of `batch` uniform edge toggles each,
@@ -213,3 +384,13 @@ func HubAttackStream(g *Graph, steps int, seed uint64) [][]Update {
 
 // StreamUpdates counts the individual updates in a trace.
 func StreamUpdates(trace [][]Update) int { return stream.Updates(trace) }
+
+// FlattenStream concatenates a stream's batches into one update sequence,
+// for feeding ApplyBatch (which re-windows it by DynamicOptions.Window).
+func FlattenStream(trace [][]Update) []Update {
+	out := make([]Update, 0, stream.Updates(trace))
+	for _, b := range trace {
+		out = append(out, b...)
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package energymis
+
+// Dynamic-repair trace acceptance: the repair phase spans and per-round
+// events streamed by the batch path must sum exactly to the engine's
+// repair totals, and obs.CheckTrace must accept the file.
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/energymis/energymis/internal/obs"
+)
+
+func TestDynamicTraceReproducesRepairTotals(t *testing.T) {
+	for _, repair := range []RepairAlgo{RepairLuby, RepairGhaffari} {
+		t.Run(repair.String(), func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "dyn.jsonl")
+			g := GNP(400, 10.0/400, 3)
+			d, err := NewDynamic(g, Algorithm1, DynamicOptions{
+				Seed: 9, Repair: repair, Window: 16, TracePath: path, SelfCheck: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			flat := FlattenStream(ChurnStream(g, 40, 4, 21))
+			if _, err := d.ApplyBatch(flat); err != nil {
+				t.Fatal(err)
+			}
+			if err := d.Close(); err != nil {
+				t.Fatal(err)
+			}
+			st := d.Stats()
+
+			tr, err := obs.ReadTraceFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var awake, msgs, dropped, bits, viol int64
+			var phaseRounds int
+			names := map[string]int{}
+			for _, rec := range tr.Records {
+				switch rec.Type {
+				case obs.RecRound:
+					awake += rec.Awake
+					msgs += rec.MsgsSent
+					dropped += rec.MsgsDropped
+					bits += rec.Bits
+					viol += rec.Violations
+				case obs.RecPhase:
+					phaseRounds += rec.Rounds
+					names[rec.Name]++
+					if !strings.HasPrefix(rec.Name, "repair/") {
+						t.Errorf("unexpected phase span %q", rec.Name)
+					}
+				}
+			}
+			if awake != st.AwakeTotal {
+				t.Errorf("trace awake sum %d != Stats.AwakeTotal %d", awake, st.AwakeTotal)
+			}
+			if msgs != st.Messages {
+				t.Errorf("trace msgs sum %d != Stats.Messages %d", msgs, st.Messages)
+			}
+			if dropped != st.MsgsDropped {
+				t.Errorf("trace dropped sum %d != Stats.MsgsDropped %d", dropped, st.MsgsDropped)
+			}
+			if bits != st.Bits {
+				t.Errorf("trace bits sum %d != Stats.Bits %d", bits, st.Bits)
+			}
+			if viol != st.Violations {
+				t.Errorf("trace violations sum %d != Stats.Violations %d", viol, st.Violations)
+			}
+			if phaseRounds != int(st.Rounds) {
+				t.Errorf("trace phase rounds sum %d != Stats.Rounds %d", phaseRounds, st.Rounds)
+			}
+			if names["repair/detect"] == 0 {
+				t.Error("no repair/detect spans in trace")
+			}
+			elections := names["repair/luby"] + names["repair/ghaffari"] + names["repair/finisher"]
+			if elections == 0 {
+				t.Error("no election spans in trace")
+			}
+			if problems := obs.CheckTrace(tr); len(problems) != 0 {
+				t.Errorf("CheckTrace: %v", problems)
+			}
+			sum := tr.Summary()
+			if sum == nil {
+				t.Fatal("trace has no summary record")
+			}
+			if sum.Rounds != int(st.Rounds) || sum.Awake != st.AwakeTotal || sum.MISSize != d.MISSize() {
+				t.Errorf("summary record %+v does not match Stats", sum)
+			}
+		})
+	}
+}
+
+// TestDynamicWindowedValidity drives ApplyBatch through several window
+// sizes over the same stream and requires a valid MIS after every call,
+// plus identical final topology regardless of windowing.
+func TestDynamicWindowedValidity(t *testing.T) {
+	g := GNP(300, 9.0/300, 5)
+	flat := FlattenStream(ChurnStream(g, 50, 4, 8))
+	var wantEdges int
+	for _, window := range []int{0, 1, 7, 64, 1000} {
+		d, err := NewDynamicFrom(g, GreedyMIS(g), DynamicOptions{Seed: 4, Window: window})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for chunk := 0; chunk < len(flat); chunk += 25 {
+			end := chunk + 25
+			if end > len(flat) {
+				end = len(flat)
+			}
+			if _, err := d.ApplyBatch(flat[chunk:end]); err != nil {
+				t.Fatalf("window %d: %v", window, err)
+			}
+			if !d.IsValidMIS() {
+				t.Fatalf("window %d: invalid MIS after chunk at %d: %v", window, chunk, d.Check())
+			}
+		}
+		if wantEdges == 0 {
+			wantEdges = d.M()
+		} else if d.M() != wantEdges {
+			t.Fatalf("window %d: final m=%d, want %d", window, d.M(), wantEdges)
+		}
+		st := d.Stats()
+		if st.Updates != int64(len(flat)) {
+			t.Fatalf("window %d: applied %d updates, want %d", window, st.Updates, len(flat))
+		}
+	}
+}
+
+// TestDynamicLegacyTraceRejected pins the contract that tracing requires
+// the batch repair path.
+func TestDynamicLegacyTraceRejected(t *testing.T) {
+	g := GNP(50, 0.1, 1)
+	_, err := NewDynamicFrom(g, GreedyMIS(g), DynamicOptions{
+		Legacy: true, TracePath: filepath.Join(t.TempDir(), "x.jsonl"),
+	})
+	if err == nil {
+		t.Fatal("Legacy+TracePath accepted")
+	}
+}

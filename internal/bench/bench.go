@@ -53,6 +53,13 @@ type Timing struct {
 	// wall time, and allocations per simulation.
 	RunsPerSec   float64 `json:"runs_per_sec,omitempty"`
 	AllocsPerRun float64 `json:"allocs_per_run,omitempty"`
+	// UpdatesPerSec and AllocsPerUpdate are set for cases whose metrics
+	// carry extra["updates"] (the dynamic and dynamic-throughput suites):
+	// topology updates sustained per second of wall time, and heap
+	// allocations per update. Both are gated for the dynamic-throughput
+	// suite (see compare.go).
+	UpdatesPerSec   float64 `json:"updates_per_sec,omitempty"`
+	AllocsPerUpdate float64 `json:"allocs_per_update,omitempty"`
 }
 
 // CaseResult is one suite case's measurements.
@@ -163,6 +170,10 @@ func Measure(spec Spec, reps int) (CaseResult, error) {
 	if runs := m.Extra["runs"]; runs > 0 {
 		t.RunsPerSec = runs * 1e9 / t.MinNS
 		t.AllocsPerRun = t.AllocsPerOp / runs
+	}
+	if upd := m.Extra["updates"]; upd > 0 {
+		t.UpdatesPerSec = upd * 1e9 / t.MinNS
+		t.AllocsPerUpdate = t.AllocsPerOp / upd
 	}
 	return CaseResult{Suite: spec.Suite, Name: spec.Name, Metrics: m, Timing: t}, nil
 }

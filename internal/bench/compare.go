@@ -29,6 +29,24 @@ const AllocThreshold = 0.30
 // before the relative threshold applies.
 const AllocSlack = 0.05
 
+// GatedUpdatesMetric gates the dynamic-throughput suite: sustained
+// topology updates per second through the repair engine. Higher is
+// better, so a case regresses when it falls below the baseline by more
+// than the configured threshold. Only cases whose baseline carries the
+// metric are gated.
+const GatedUpdatesMetric = "updates_per_sec"
+
+// GatedUpdateAllocMetric is the allocation gate of the dynamic-throughput
+// suite: heap allocations per applied update. Same shape as the
+// awake-node-round alloc gate — relative threshold plus absolute slack.
+const GatedUpdateAllocMetric = "allocs_per_update"
+
+// UpdateAllocSlack is the absolute allocs/update a case may gain before
+// AllocThreshold applies (one batch of pipeline bookkeeping spread over a
+// window is O(1) allocs/update; tiny baselines would otherwise gate on
+// noise).
+const UpdateAllocSlack = 2.0
+
 // Delta is one per-case, per-metric difference between two reports.
 type Delta struct {
 	Case   string // suite/name key
@@ -116,6 +134,32 @@ func Compare(old, cur *Report, threshold float64) (*Comparison, error) {
 			c.Regressions = append(c.Regressions, alloc)
 		}
 
+		// The update-throughput gates apply only where the baseline has
+		// the metric (cases driven by update streams).
+		if oc.Timing.UpdatesPerSec > 0 {
+			ups := Delta{
+				Case: key, Metric: GatedUpdatesMetric, Gated: true,
+				Old: oc.Timing.UpdatesPerSec,
+				New: nc.Timing.UpdatesPerSec,
+			}
+			ups.Pct = pct(ups.Old, ups.New)
+			c.Deltas = append(c.Deltas, ups)
+			if ups.New < ups.Old*(1-threshold) {
+				c.Regressions = append(c.Regressions, ups)
+			}
+
+			ua := Delta{
+				Case: key, Metric: GatedUpdateAllocMetric, Gated: true,
+				Old: oc.Timing.AllocsPerUpdate,
+				New: nc.Timing.AllocsPerUpdate,
+			}
+			ua.Pct = pct(ua.Old, ua.New)
+			c.Deltas = append(c.Deltas, ua)
+			if ua.New > ua.Old*(1+AllocThreshold) && ua.New-ua.Old > UpdateAllocSlack {
+				c.Regressions = append(c.Regressions, ua)
+			}
+		}
+
 		info := []Delta{
 			{Case: key, Metric: "min_ns", Old: oc.Timing.MinNS, New: nc.Timing.MinNS},
 			{Case: key, Metric: "allocs_per_op", Old: oc.Timing.AllocsPerOp, New: nc.Timing.AllocsPerOp},
@@ -158,12 +202,18 @@ func (c *Comparison) Format(w io.Writer) {
 	for _, d := range c.Regressions {
 		regressed[d.Case+"/"+d.Metric] = true
 	}
-	for _, metric := range []string{GatedMetric, GatedAllocMetric} {
-		fmt.Fprintf(w, "%-44s %14s %14s %8s\n", "case ("+metric+")", "baseline", "current", "delta")
+	for _, metric := range []string{GatedMetric, GatedAllocMetric, GatedUpdatesMetric, GatedUpdateAllocMetric} {
+		var rows []Delta
 		for _, d := range c.Deltas {
-			if !d.Gated || d.Metric != metric {
-				continue
+			if d.Gated && d.Metric == metric {
+				rows = append(rows, d)
 			}
+		}
+		if len(rows) == 0 {
+			continue // e.g. no update-stream cases in this run
+		}
+		fmt.Fprintf(w, "%-44s %14s %14s %8s\n", "case ("+metric+")", "baseline", "current", "delta")
+		for _, d := range rows {
 			mark := ""
 			if regressed[d.Case+"/"+d.Metric] {
 				mark = "  REGRESSION"
@@ -185,8 +235,9 @@ func (c *Comparison) Format(w io.Writer) {
 		fmt.Fprintf(w, "\nnew cases (no baseline): %v\n", c.OnlyNew)
 	}
 	if c.Regressed() {
-		fmt.Fprintf(w, "\nFAIL: %d regression(s) beyond the budget (%.0f%% on %s; %.0f%%+%.2f on %s)\n",
-			len(c.Regressions), c.Threshold*100, GatedMetric, AllocThreshold*100, AllocSlack, GatedAllocMetric)
+		fmt.Fprintf(w, "\nFAIL: %d regression(s) beyond the budget (%.0f%% on %s/%s; %.0f%%+slack on %s/%s)\n",
+			len(c.Regressions), c.Threshold*100, GatedMetric, GatedUpdatesMetric,
+			AllocThreshold*100, GatedAllocMetric, GatedUpdateAllocMetric)
 	} else {
 		fmt.Fprintf(w, "\nOK: %d case(s) within the %.0f%% / %.0f%% budgets\n",
 			c.Matched, c.Threshold*100, AllocThreshold*100)

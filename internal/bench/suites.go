@@ -11,15 +11,16 @@ import (
 // suite flagged Quick — the *same cases with the same sizes and seeds* as
 // the full run, so quick reports compare cleanly against a full baseline.
 const (
-	SuiteStatic     = "static"     // static MIS runs: graph families × sizes × algorithms
-	SuiteDynamic    = "dynamic"    // churn workloads through the dynamic repair engine
-	SuiteScaling    = "scaling"    // parallel-executor scaling, 1 → N workers
-	SuiteThroughput = "throughput" // M independent runs across a worker pool (runs/sec)
+	SuiteStatic        = "static"             // static MIS runs: graph families × sizes × algorithms
+	SuiteDynamic       = "dynamic"            // churn workloads through the dynamic repair engine
+	SuiteScaling       = "scaling"            // parallel-executor scaling, 1 → N workers
+	SuiteThroughput    = "throughput"         // M independent runs across a worker pool (runs/sec)
+	SuiteDynThroughput = "dynamic-throughput" // sustained update streams through ApplyBatch (updates/sec)
 )
 
 // SuiteNames lists every suite in canonical order.
 func SuiteNames() []string {
-	return []string{SuiteStatic, SuiteDynamic, SuiteScaling, SuiteThroughput}
+	return []string{SuiteStatic, SuiteDynamic, SuiteScaling, SuiteThroughput, SuiteDynThroughput}
 }
 
 // The benchmark topologies, each defined exactly once so every suite that
@@ -163,7 +164,7 @@ func Specs(suites []string, quick bool) ([]Spec, error) {
 	if len(suites) == 0 {
 		suites = SuiteNames()
 	}
-	known := map[string]bool{SuiteStatic: true, SuiteDynamic: true, SuiteScaling: true, SuiteThroughput: true}
+	known := map[string]bool{SuiteStatic: true, SuiteDynamic: true, SuiteScaling: true, SuiteThroughput: true, SuiteDynThroughput: true}
 	for _, s := range suites {
 		if !known[s] {
 			return nil, fmt.Errorf("bench: unknown suite %q (have %v)", s, SuiteNames())
@@ -229,6 +230,9 @@ func Specs(suites []string, quick bool) ([]Spec, error) {
 		throughputSpec("luby/gnp/n=16384/runs=8", false, gnpGraph(16384), energymis.Luby, 8),
 		throughputSpec("luby/udg/n=4096/runs=16", false, udgGraph(4096), energymis.Luby, 16),
 	)
+
+	// --- dynamic-throughput: sustained update streams through ApplyBatch ---
+	specs = append(specs, dynThroughputSpecs()...)
 
 	var out []Spec
 	for _, s := range specs {

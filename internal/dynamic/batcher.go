@@ -1,0 +1,52 @@
+package dynamic
+
+// Batcher coalesces a window of churn events and repairs them in one
+// Engine.Apply call. Coalescing is where the batch path's throughput comes
+// from: the union of the affected 1-hop neighborhoods is repaired once —
+// overlapping regions merge, opposing updates cancel — instead of paying a
+// detection round and an election per update.
+type Batcher struct {
+	e       *Engine
+	window  int
+	pending []Update
+}
+
+// NewBatcher wraps e with a coalescing window of the given size. A window
+// below 1 is treated as 1 (every Add flushes immediately).
+func NewBatcher(e *Engine, window int) *Batcher {
+	if window < 1 {
+		window = 1
+	}
+	return &Batcher{e: e, window: window, pending: make([]Update, 0, window)}
+}
+
+// Window returns the configured window size.
+func (b *Batcher) Window() int { return b.window }
+
+// Pending returns the number of buffered, not-yet-repaired updates.
+func (b *Batcher) Pending() int { return len(b.pending) }
+
+// Add buffers one update. When the buffer reaches the window size it is
+// applied as one batch; flushed reports whether that happened, and bs is
+// the repair cost of the flush (zero otherwise). Between flushes the
+// engine's set is stale with respect to the buffered updates — call Flush
+// before reading the set.
+func (b *Batcher) Add(u Update) (bs BatchStats, flushed bool, err error) {
+	b.pending = append(b.pending, u)
+	if len(b.pending) < b.window {
+		return BatchStats{}, false, nil
+	}
+	bs, err = b.Flush()
+	return bs, true, err
+}
+
+// Flush applies the buffered updates as one batch. A no-op (zero
+// BatchStats) when nothing is pending.
+func (b *Batcher) Flush() (BatchStats, error) {
+	if len(b.pending) == 0 {
+		return BatchStats{}, nil
+	}
+	bs, err := b.e.Apply(b.pending)
+	b.pending = b.pending[:0]
+	return bs, err
+}

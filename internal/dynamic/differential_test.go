@@ -1,0 +1,203 @@
+package dynamic
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/energymis/energymis/internal/graph"
+	"github.com/energymis/energymis/internal/rng"
+	"github.com/energymis/energymis/internal/verify"
+)
+
+// mixedBatch derives a deterministic update batch from the current state
+// of e (both engines under test evolve identically, so querying either
+// gives the same batch).
+func mixedBatch(e *Engine, r *rng.Stream, size int) []Update {
+	var ids []int
+	for v := 0; v < e.N(); v++ {
+		if e.Alive(v) {
+			ids = append(ids, v)
+		}
+	}
+	batch := make([]Update, 0, size)
+	inserted := 0
+	for len(batch) < size {
+		switch r.Intn(6) {
+		case 0, 1, 2: // edge toggle
+			u, v := ids[r.Intn(len(ids))], ids[r.Intn(len(ids))]
+			if u == v {
+				continue
+			}
+			if e.HasEdge(u, v) {
+				batch = append(batch, DelEdge(u, v))
+			} else {
+				batch = append(batch, InsEdge(u, v))
+			}
+		case 3: // node insert (neighbors among current ids)
+			k := r.Intn(4)
+			nbs := make([]int, 0, k)
+			for i := 0; i < k; i++ {
+				nbs = append(nbs, ids[r.Intn(len(ids))])
+			}
+			batch = append(batch, InsNode(nbs...))
+			inserted++
+		case 4: // node removal (keep the graph from draining)
+			if len(ids) > 40 {
+				v := ids[r.Intn(len(ids))]
+				batch = append(batch, DelNode(v))
+				// Drop v so a later update in this batch cannot target it.
+				for i, id := range ids {
+					if id == v {
+						ids = append(ids[:i], ids[i+1:]...)
+						break
+					}
+				}
+			}
+		case 5: // duplicate/no-op pressure
+			u, v := ids[r.Intn(len(ids))], ids[r.Intn(len(ids))]
+			if u != v && !e.HasEdge(u, v) {
+				batch = append(batch, InsEdge(u, v), DelEdge(u, v))
+			}
+		}
+	}
+	return batch
+}
+
+// TestBatchVsLegacyDifferential drives the batch and legacy repair paths
+// through identical mixed churn and requires identical sets, identical
+// per-batch counters, and identical per-node awake ledgers — for both
+// repair protocols and Workers ∈ {1, 2, 8}.
+func TestBatchVsLegacyDifferential(t *testing.T) {
+	for _, repair := range []RepairAlgo{RepairLuby, RepairGhaffari} {
+		for _, workers := range []int{1, 2, 8} {
+			t.Run(repair.String()+"/w"+string(rune('0'+workers)), func(t *testing.T) {
+				g := graph.GNP(300, 12.0/300, 42)
+				inSet := verify.GreedyMIS(g)
+				p := Params{Seed: 1234, Repair: repair, Workers: workers, MaxRetry: 2}
+				pLegacy := p
+				pLegacy.Legacy = true
+				eb, err := New(g, inSet, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				el, err := New(g, inSet, pLegacy)
+				if err != nil {
+					t.Fatal(err)
+				}
+				r := rng.New(7)
+				for step := 0; step < 40; step++ {
+					batch := mixedBatch(eb, r, 1+r.Intn(12))
+					bsB, errB := eb.Apply(batch)
+					bsL, errL := el.Apply(batch)
+					if (errB == nil) != (errL == nil) {
+						t.Fatalf("step %d: error mismatch: batch=%v legacy=%v", step, errB, errL)
+					}
+					if bsB != bsL {
+						t.Fatalf("step %d: BatchStats diverge:\nbatch : %+v\nlegacy: %+v", step, bsB, bsL)
+					}
+					if err := eb.Check(); err != nil {
+						t.Fatalf("step %d: batch path invariant: %v", step, err)
+					}
+				}
+				if !reflect.DeepEqual(eb.InSet(), el.InSet()) {
+					t.Fatal("InSet diverges between batch and legacy paths")
+				}
+				if !reflect.DeepEqual(eb.AwakePerNode(), el.AwakePerNode()) {
+					t.Fatal("per-node awake ledgers diverge")
+				}
+				if sb, sl := eb.Stats(), el.Stats(); sb != sl {
+					t.Fatalf("Stats diverge:\nbatch : %+v\nlegacy: %+v", sb, sl)
+				}
+			})
+		}
+	}
+}
+
+// TestBatchWorkersDeterminism holds the batch path to its own output
+// across worker counts (the parallel executor must be byte-identical).
+func TestBatchWorkersDeterminism(t *testing.T) {
+	run := func(workers int) ([]bool, Stats) {
+		g := graph.GNP(250, 10.0/250, 9)
+		e, err := New(g, verify.GreedyMIS(g), Params{Seed: 5, Repair: RepairGhaffari, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rng.New(11)
+		for step := 0; step < 30; step++ {
+			if _, err := e.Apply(mixedBatch(e, r, 1+r.Intn(8))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return e.InSet(), e.Stats()
+	}
+	set1, st1 := run(1)
+	set8, st8 := run(8)
+	if !reflect.DeepEqual(set1, set8) {
+		t.Fatal("InSet differs between Workers=1 and Workers=8")
+	}
+	if st1 != st8 {
+		t.Fatalf("stats differ across worker counts: %v vs %v", st1, st8)
+	}
+}
+
+func TestBatcher(t *testing.T) {
+	g := graph.GNP(120, 8.0/120, 3)
+	e, err := New(g, verify.GreedyMIS(g), Params{Seed: 2, SelfCheck: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBatcher(e, 4)
+	if b.Window() != 4 {
+		t.Fatalf("window = %d", b.Window())
+	}
+	r := rng.New(13)
+	flushes, updates := 0, 0
+	for i := 0; i < 21; i++ {
+		u, v := r.Intn(120), r.Intn(120)
+		if u == v {
+			continue
+		}
+		up := InsEdge(u, v)
+		if e.HasEdge(u, v) {
+			up = DelEdge(u, v)
+		}
+		bs, flushed, err := b.Add(up)
+		if err != nil {
+			t.Fatal(err)
+		}
+		updates++
+		if flushed {
+			flushes++
+			if bs.Updates != 4 {
+				t.Fatalf("flush applied %d updates, want 4", bs.Updates)
+			}
+			if b.Pending() != 0 {
+				t.Fatalf("pending after flush = %d", b.Pending())
+			}
+		}
+	}
+	if flushes != updates/4 {
+		t.Fatalf("flushes = %d over %d updates (window 4)", flushes, updates)
+	}
+	if b.Pending() != updates%4 {
+		t.Fatalf("pending = %d, want %d", b.Pending(), updates%4)
+	}
+	if bs, err := b.Flush(); err != nil || bs.Updates != updates%4 {
+		t.Fatalf("final flush: bs=%+v err=%v", bs, err)
+	}
+	if err := e.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// Empty flush is free.
+	if bs, err := b.Flush(); err != nil || bs != (BatchStats{}) {
+		t.Fatalf("empty flush charged: %+v err=%v", bs, err)
+	}
+	// Window < 1 degrades to per-update application.
+	b1 := NewBatcher(e, 0)
+	if b1.Window() != 1 {
+		t.Fatalf("window 0 not clamped: %d", b1.Window())
+	}
+	if _, flushed, err := b1.Add(DelEdge(0, 1)); err == nil && !flushed {
+		t.Fatal("window-1 Add did not flush")
+	}
+}

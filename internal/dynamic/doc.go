@@ -28,4 +28,17 @@
 // violate it); U nodes have no member neighbors, so electing an MIS of
 // G[U] and adding it keeps independence and restores maximality. Every
 // woken node is within two hops of an update endpoint.
+//
+// Engine paths. The default repair path runs on the SoA batch runtime:
+// the affected region is tracked in epoch-stamped arrays, the re-election
+// is composed as an internal/pipeline run (batch luby / batch ghaffari
+// with a Luby finisher) over one pooled sim.Mem owned by the Engine, and
+// Params.Tracer receives a phase span per election stage plus a synthetic
+// one-round "repair/detect" span per batch. Params.Legacy selects the
+// frozen per-node reference path (repair_legacy.go) — identical sets and
+// identical deterministic counters, proven by differential tests.
+//
+// Batcher coalesces a window of updates into one Apply: overlapping
+// repair regions merge and are re-elected once, which is what turns the
+// unit of traffic from a run into an update.
 package dynamic

@@ -5,6 +5,8 @@ import (
 	"sort"
 
 	"github.com/energymis/energymis/internal/graph"
+	"github.com/energymis/energymis/internal/obs"
+	"github.com/energymis/energymis/internal/sim"
 	"github.com/energymis/energymis/internal/verify"
 )
 
@@ -107,6 +109,19 @@ type Params struct {
 	// SelfCheck validates the full MIS invariant after every batch
 	// (O(n+m); for tests).
 	SelfCheck bool
+	// Legacy selects the per-node reference repair path (RepairLegacy):
+	// map-based region tracking and the per-node sim engines. The default
+	// batch path — epoch-stamped region scratch, pipeline-composed
+	// elections on the SoA batch runtime, one pooled sim.Mem — produces
+	// identical sets and identical deterministic counters (see the
+	// differential tests); Legacy exists as the reference and for
+	// head-to-head benchmarks.
+	Legacy bool
+	// Tracer, when non-nil, receives phase spans for every repair
+	// (election spans from the pipeline, plus one synthetic one-round
+	// "repair/detect" span per batch) and per-round events from the
+	// election engines. Only the batch path is traced; Legacy ignores it.
+	Tracer obs.Tracer
 }
 
 // DefaultParams returns the default engine configuration.
@@ -130,6 +145,16 @@ type Engine struct {
 
 	stats   Stats
 	batchNo uint64
+
+	// Batch-path resources: one pooled engine-buffer set shared by every
+	// election of every batch, the epoch-stamped region scratch, and the
+	// tracer. simMsgs counts the engine messages of the current batch's
+	// elections, so the analytic detection-round messages can be split out
+	// for the trace.
+	mem     *sim.Mem
+	scr     scratch
+	tracer  obs.Tracer
+	simMsgs int64
 }
 
 // New wraps an existing valid MIS of g in a dynamic engine. The inSet
@@ -154,6 +179,8 @@ func New(g *graph.Graph, inSet []bool, p Params) (*Engine, error) {
 		edges:      g.M(),
 		inSet:      make([]bool, n),
 		awake:      make([]int64, n),
+		mem:        sim.NewMem(),
+		tracer:     p.Tracer,
 	}
 	copy(e.inSet, inSet)
 	for v := 0; v < n; v++ {
@@ -166,10 +193,14 @@ func New(g *graph.Graph, inSet []bool, p Params) (*Engine, error) {
 
 // NoteBootstrap credits the cost of the static run that produced the
 // initial set, so cumulative statistics cover the whole lifetime.
-func (e *Engine) NoteBootstrap(rounds int, awakePerNode []int64, messages int64) {
-	e.stats.BootstrapRounds = rounds
-	e.stats.BootstrapMessages = messages
-	for v, a := range awakePerNode {
+func (e *Engine) NoteBootstrap(c BootstrapCost) {
+	e.stats.BootstrapRounds = c.Rounds
+	e.stats.BootstrapMessages = c.Messages
+	e.stats.BootstrapMsgsDropped = c.MsgsDropped
+	e.stats.BootstrapBits = c.Bits
+	e.stats.BootstrapBitsMax = c.BitsMax
+	e.stats.BootstrapViolations = c.Violations
+	for v, a := range c.AwakePerNode {
 		if v < len(e.awake) {
 			e.awake[v] += a
 			e.stats.BootstrapAwake += a
@@ -316,19 +347,31 @@ func (e *Engine) RemoveNode(v int) (BatchStats, error) {
 	return e.Apply([]Update{DelNode(v)})
 }
 
+// regionTracker accumulates the affected region while a batch's structural
+// changes are applied: the map-based legacy repairState, or the batch
+// path's epoch-stamped scratch. unmark removes a node from both sets when
+// its slot dies mid-batch.
+type regionTracker interface {
+	markDirty(v int32)
+	wake(v int32)
+	unmark(v int32)
+}
+
 // Apply applies a batch of updates atomically: all structural changes
 // first, then a single localized repair covering every affected region.
 // Batching amortizes the repair — overlapping regions are re-elected once.
 func (e *Engine) Apply(batch []Update) (BatchStats, error) {
-	st := &repairState{
-		dirty: make(map[int32]struct{}),
-		woken: make(map[int32]struct{}),
+	var rt regionTracker
+	if e.p.Legacy {
+		rt = newRepairState()
+	} else {
+		rt = e.scr.begin(len(e.adj))
 	}
 	var bs BatchStats
 	applied := 0
 	var applyErr error
 	for i := range batch {
-		if err := e.applyStructural(&batch[i], st); err != nil {
+		if err := e.applyStructural(&batch[i], rt); err != nil {
 			// Repair the applied prefix below so the invariant holds even
 			// when the caller passed an invalid update.
 			applyErr = fmt.Errorf("dynamic: update %d (%s): %w", i, batch[i].Op, err)
@@ -337,8 +380,16 @@ func (e *Engine) Apply(batch []Update) (BatchStats, error) {
 		applied++
 	}
 	bs.Updates = applied
-	if err := e.repair(st, &bs); err != nil {
-		return bs, err
+	e.simMsgs = 0
+	var repairErr error
+	switch st := rt.(type) {
+	case *repairState:
+		repairErr = e.repairLegacy(st, &bs)
+	case *scratch:
+		repairErr = e.repairBatch(st, &bs)
+	}
+	if repairErr != nil {
+		return bs, repairErr
 	}
 
 	// Accumulate even on a failed batch: the prefix's repair did run, and
@@ -348,9 +399,15 @@ func (e *Engine) Apply(batch []Update) (BatchStats, error) {
 	e.stats.Rounds += int64(bs.Rounds)
 	e.stats.AwakeTotal += bs.AwakeRounds
 	e.stats.Messages += bs.Messages
+	e.stats.MsgsDropped += bs.MsgsDropped
+	e.stats.Bits += bs.Bits
+	e.stats.Violations += bs.Violations
 	e.stats.WokenTotal += int64(bs.Woken)
 	e.stats.Evictions += int64(bs.Evictions)
 	e.stats.Joins += int64(bs.Joins)
+	if bs.BitsMax > e.stats.BitsMax {
+		e.stats.BitsMax = bs.BitsMax
+	}
 	if bs.Region > 0 {
 		e.stats.Elections++
 	}
@@ -370,18 +427,7 @@ func (e *Engine) Apply(batch []Update) (BatchStats, error) {
 	return bs, nil
 }
 
-// repairState accumulates the affected region while a batch is applied.
-type repairState struct {
-	// dirty nodes need a coverage/conflict check during repair.
-	dirty map[int32]struct{}
-	// woken nodes are charged one detection awake round.
-	woken map[int32]struct{}
-}
-
-func (st *repairState) markDirty(v int32) { st.dirty[v] = struct{}{} }
-func (st *repairState) wake(v int32)      { st.woken[v] = struct{}{} }
-
-func (e *Engine) applyStructural(up *Update, st *repairState) error {
+func (e *Engine) applyStructural(up *Update, st regionTracker) error {
 	switch up.Op {
 	case OpInsertEdge, OpRemoveEdge:
 		u, v := up.U, up.V
@@ -462,8 +508,7 @@ func (e *Engine) applyStructural(up *Update, st *repairState) error {
 		e.aliveCount--
 		// The dead slot must not join the repair region even if an earlier
 		// update in the batch marked it.
-		delete(st.dirty, int32(v))
-		delete(st.woken, int32(v))
+		st.unmark(int32(v))
 	default:
 		return fmt.Errorf("unknown op %d", up.Op)
 	}

@@ -344,7 +344,7 @@ func TestLocality(t *testing.T) {
 func TestNoteBootstrapAndStats(t *testing.T) {
 	g := graph.Path(5)
 	e := newEngine(t, g, DefaultParams())
-	e.NoteBootstrap(12, []int64{3, 3, 3, 3, 3}, 40)
+	e.NoteBootstrap(BootstrapCost{Rounds: 12, AwakePerNode: []int64{3, 3, 3, 3, 3}, Messages: 40})
 	st := e.Stats()
 	if st.BootstrapRounds != 12 || st.BootstrapAwake != 15 || st.BootstrapMessages != 40 {
 		t.Fatalf("bootstrap stats wrong: %+v", st)

@@ -3,26 +3,143 @@ package dynamic
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"github.com/energymis/energymis/internal/ghaffari"
 	"github.com/energymis/energymis/internal/graph"
 	"github.com/energymis/energymis/internal/luby"
+	"github.com/energymis/energymis/internal/obs"
+	"github.com/energymis/energymis/internal/pipeline"
 	"github.com/energymis/energymis/internal/sim"
 )
 
-// repair restores the MIS invariant after a batch's structural changes:
-// conflict eviction, coverage probing, then a localized re-election on the
-// uncovered region.
-func (e *Engine) repair(st *repairState, bs *BatchStats) error {
-	if len(st.dirty) == 0 && len(st.woken) == 0 {
+// This file is the default batch-engine repair path: the affected region
+// of a coalesced update window is tracked in epoch-stamped arrays (zero
+// steady-state allocation, unlike the legacy maps), and the re-election
+// runs as an internal/pipeline composition on the SoA batch runtime with
+// the engine's single pooled sim.Mem. Counters are deterministic and
+// identical to repair_legacy.go — same analytic charges, same seed
+// derivation, and the batch election engines are counter-identical to the
+// per-node ones (proven by their own differential tests).
+
+// scratch is the batch path's reusable region tracker. A node is in the
+// dirty (resp. woken) set iff its stamp equals the current epoch; begin
+// bumps the epoch, which empties both sets in O(1). The insertion-ordered
+// id lists exist only so snapshots need not scan all n stamps.
+type scratch struct {
+	epoch      uint64
+	dirtyStamp []uint64
+	wokenStamp []uint64
+	dirty      []int32 // stamped-insertion order, may contain unmarked ids
+	woken      []int32
+
+	// Election scratch: region membership stamps + local index for the
+	// subgraph build (replacing the legacy map), and reusable snapshot
+	// buffers for the sorted sweeps.
+	localStamp []uint64
+	localIdx   []int32
+	snap       []int32
+	region     []int32
+}
+
+// begin opens a new batch over n node slots and returns the tracker.
+func (s *scratch) begin(n int) *scratch {
+	s.epoch++
+	s.grow(n)
+	s.dirty = s.dirty[:0]
+	s.woken = s.woken[:0]
+	return s
+}
+
+// grow extends the stamp arrays to cover n slots (node inserts mid-batch
+// extend the slot space past what begin saw).
+func (s *scratch) grow(n int) {
+	for len(s.dirtyStamp) < n {
+		s.dirtyStamp = append(s.dirtyStamp, 0)
+		s.wokenStamp = append(s.wokenStamp, 0)
+		s.localStamp = append(s.localStamp, 0)
+		s.localIdx = append(s.localIdx, 0)
+	}
+}
+
+func (s *scratch) markDirty(v int32) {
+	s.grow(int(v) + 1)
+	if s.dirtyStamp[v] != s.epoch {
+		s.dirtyStamp[v] = s.epoch
+		s.dirty = append(s.dirty, v)
+	}
+}
+
+func (s *scratch) wake(v int32) {
+	s.grow(int(v) + 1)
+	if s.wokenStamp[v] != s.epoch {
+		s.wokenStamp[v] = s.epoch
+		s.woken = append(s.woken, v)
+	}
+}
+
+// unmark removes v from both sets (its slot died mid-batch). Dead slots
+// are never re-marked, so the stale entry left in the id lists stays
+// filtered out by its cleared stamp.
+func (s *scratch) unmark(v int32) {
+	if int(v) < len(s.dirtyStamp) {
+		s.dirtyStamp[v] = 0
+		s.wokenStamp[v] = 0
+	}
+}
+
+func (s *scratch) empty() bool {
+	for _, v := range s.dirty {
+		if s.dirtyStamp[v] == s.epoch {
+			return false
+		}
+	}
+	for _, v := range s.woken {
+		if s.wokenStamp[v] == s.epoch {
+			return false
+		}
+	}
+	return true
+}
+
+// sortedDirty returns the currently-marked dirty set, ascending, in the
+// reusable snapshot buffer (valid until the next sorted* call).
+func (s *scratch) sortedDirty() []int32 {
+	s.snap = s.snap[:0]
+	for _, v := range s.dirty {
+		if s.dirtyStamp[v] == s.epoch {
+			s.snap = append(s.snap, v)
+		}
+	}
+	sort.Slice(s.snap, func(i, j int) bool { return s.snap[i] < s.snap[j] })
+	return s.snap
+}
+
+// sortedWoken is sortedDirty for the woken set.
+func (s *scratch) sortedWoken() []int32 {
+	s.snap = s.snap[:0]
+	for _, v := range s.woken {
+		if s.wokenStamp[v] == s.epoch {
+			s.snap = append(s.snap, v)
+		}
+	}
+	sort.Slice(s.snap, func(i, j int) bool { return s.snap[i] < s.snap[j] })
+	return s.snap
+}
+
+// repairBatch restores the MIS invariant after a batch's structural
+// changes: conflict eviction, coverage probing, then one pipeline-composed
+// re-election on the union of the uncovered regions.
+func (e *Engine) repairBatch(st *scratch, bs *BatchStats) error {
+	if st.empty() {
 		return nil // nothing changed (no-op updates only)
 	}
-	e.resolveConflicts(st, bs)
+	e.resolveConflictsBatch(st, bs)
 
 	// Coverage probe: every dirty node broadcasts a probe; member
 	// neighbors answer. Listening neighbors wake for the probe round.
-	region := make([]int32, 0, len(st.dirty))
-	for _, v := range sortedKeys(st.dirty) {
+	st.region = st.region[:0]
+	for _, v := range st.sortedDirty() {
 		if !e.alive[v] || e.inSet[v] {
 			continue
 		}
@@ -36,14 +153,14 @@ func (e *Engine) repair(st *repairState, bs *BatchStats) error {
 			}
 		}
 		if !covered {
-			region = append(region, v)
+			st.region = append(st.region, v)
 		}
 	}
-	bs.Region = len(region)
+	bs.Region = len(st.region)
 
 	bs.Rounds = 1 // the detection/probe round; elections add theirs
-	if len(region) > 0 {
-		if err := e.elect(region, st, bs); err != nil {
+	if len(st.region) > 0 {
+		if err := e.electBatch(st.region, st, bs); err != nil {
 			return err
 		}
 	}
@@ -51,22 +168,33 @@ func (e *Engine) repair(st *repairState, bs *BatchStats) error {
 	// Charge the detection/probe round last, over the final woken set, so
 	// every node reported in Woken is also charged at least one awake
 	// round (election awake rounds were added by accountSim).
-	for _, v := range sortedKeys(st.woken) {
+	woken := st.sortedWoken()
+	for _, v := range woken {
 		e.awake[v]++
 		bs.AwakeRounds++
 	}
-	bs.Woken = len(st.woken)
+	bs.Woken = len(woken)
+
+	// The detection/probe round as a synthetic one-round span, carrying
+	// the analytic messages (notifications, probes, replies — everything
+	// not sent through an election engine), so trace round/phase sums
+	// reproduce the engine totals exactly.
+	if e.tracer != nil {
+		msgs := bs.Messages - e.simMsgs
+		e.tracer.PhaseStart("repair/detect")
+		e.tracer.Round(obs.RoundStats{Round: 0, Awake: bs.Woken, MsgsSent: msgs})
+		e.tracer.PhaseEnd(obs.PhaseStats{
+			Name: "repair/detect", Rounds: 1,
+			Awake: int64(bs.Woken), MsgsSent: msgs,
+		})
+	}
 	return nil
 }
 
-// resolveConflicts evicts members until no edge has two member endpoints.
-// A conflict edge can only be created by a batch edge insertion (the set
-// was valid before the batch, and elections never join adjacent nodes), so
-// both of its endpoints are in the original dirty set and one sweep over
-// it is exhaustive; evictions only remove members and cannot create new
-// conflicts. The evicted endpoint is the one whose departure uncovers
-// fewer nodes: lower degree, ties toward the higher ID.
-func (e *Engine) resolveConflicts(st *repairState, bs *BatchStats) {
+// resolveConflictsBatch evicts members until no edge has two member
+// endpoints; same sweep and tie-breaks as resolveConflictsLegacy (see the
+// exhaustiveness argument there).
+func (e *Engine) resolveConflictsBatch(st *scratch, bs *BatchStats) {
 	evict := func(m int32) {
 		e.inSet[m] = false
 		bs.Evictions++
@@ -80,7 +208,9 @@ func (e *Engine) resolveConflicts(st *repairState, bs *BatchStats) {
 			st.markDirty(u)
 		}
 	}
-	for _, v := range sortedKeys(st.dirty) {
+	// The snapshot buffer would be clobbered by nested sorted* calls; the
+	// sweep below only appends to st.dirty, which is safe.
+	for _, v := range st.sortedDirty() {
 		for e.alive[v] && e.inSet[v] {
 			conflict := int32(-1)
 			for _, u := range e.adj[v] {
@@ -102,36 +232,46 @@ func (e *Engine) resolveConflicts(st *repairState, bs *BatchStats) {
 	}
 }
 
-// elect runs the localized re-election on the induced subgraph of the
-// uncovered region and merges the winners into the set. region is sorted.
-func (e *Engine) elect(region []int32, st *repairState, bs *BatchStats) error {
-	local := make(map[int32]int32, len(region))
+// electBatch runs the localized re-election on the induced subgraph of the
+// uncovered region as a pipeline over the batch engines, and merges the
+// winners into the set. region is sorted and must not alias st.snap.
+func (e *Engine) electBatch(region []int32, st *scratch, bs *BatchStats) error {
+	st.grow(len(e.adj))
 	for i, v := range region {
-		local[v] = int32(i)
+		st.localIdx[v] = int32(i)
+		st.localStamp[v] = st.epoch
 	}
 	b := graph.NewBuilder(len(region))
 	for i, v := range region {
 		for _, u := range e.adj[v] {
-			if j, ok := local[u]; ok && int32(i) < j {
-				b.AddEdge(i, int(j))
+			if st.localStamp[u] == st.epoch && int32(i) < st.localIdx[u] {
+				b.AddEdge(i, int(st.localIdx[u]))
 			}
 		}
 	}
 	sub := b.Build()
 
-	var inSub []bool
+	// One pipeline per batch: shared pooled Mem across every election
+	// stage, residual tracking between Ghaffari attempts, phase spans for
+	// the tracer. Seeds come from simCfg/bump — the legacy derivation —
+	// not Pipeline.Cfg, to keep the two paths counter-identical.
+	cfg := e.simCfg()
+	cfg.Mem = e.mem
+	cfg.Tracer = e.tracer
+	pl := pipeline.New(sub, cfg)
+
 	var err error
 	switch e.p.Repair {
 	case RepairGhaffari:
-		inSub, err = e.electGhaffari(sub, region, bs)
+		err = e.electGhaffariBatch(pl, cfg, region, bs)
 	default:
-		inSub, err = e.electLuby(sub, region, bs)
+		err = e.electLubyBatch(pl, cfg, region, bs)
 	}
 	if err != nil {
 		return err
 	}
 
-	for i, in := range inSub {
+	for i, in := range pl.InSet() {
 		if !in {
 			continue
 		}
@@ -147,6 +287,68 @@ func (e *Engine) elect(region []int32, st *repairState, bs *BatchStats) error {
 	return nil
 }
 
+// electLubyBatch runs batch Luby to completion on the region subgraph.
+func (e *Engine) electLubyBatch(pl *pipeline.Pipeline, cfg sim.Config, region []int32, bs *BatchStats) error {
+	pl.Begin("repair/luby")
+	inSub, res, err := luby.Run(pl.Graph(), cfg)
+	if err != nil {
+		return fmt.Errorf("dynamic: re-election: %w", err)
+	}
+	e.accountSim(res, nil, region, bs)
+	pl.Join(inSub, nil)
+	pl.SetResidual(nil, nil)
+	pl.Record("repair/luby", res, nil)
+	return nil
+}
+
+// electGhaffariBatch runs the batch desire-level dynamics for O(log |U|)
+// rounds, retries on stragglers, and finishes any remaining nodes with
+// batch Luby. Residual composition between attempts goes through the
+// pipeline (equivalent to the legacy orig-chain: induced subgraphs of
+// induced subgraphs compose, and survivor lists are ascending).
+func (e *Engine) electGhaffariBatch(pl *pipeline.Pipeline, cfg sim.Config, region []int32, bs *BatchStats) error {
+	cur := pl.Graph()
+	var orig []int32 // cur's node i is region subgraph node orig[i]; nil = identity
+	for attempt := 0; ; attempt++ {
+		if cur.N() == 0 {
+			return nil
+		}
+		if attempt >= e.p.MaxRetry {
+			// Luby finisher: always terminates.
+			pl.Begin("repair/finisher")
+			inFin, res, err := luby.Run(cur, bump(cfg, uint64(attempt)))
+			if err != nil {
+				return fmt.Errorf("dynamic: finisher: %w", err)
+			}
+			e.accountSim(res, orig, region, bs)
+			pl.Join(inFin, orig)
+			pl.SetResidual(nil, nil)
+			pl.Record("repair/finisher", res, orig)
+			return nil
+		}
+		rounds := ghaffariRounds(cur.N())
+		pl.Begin("repair/ghaffari")
+		inG, survivors, res, err := ghaffari.RunShatter(cur, rounds, bump(cfg, uint64(attempt)))
+		if err != nil {
+			return fmt.Errorf("dynamic: ghaffari: %w", err)
+		}
+		e.accountSim(res, orig, region, bs)
+		pl.Join(inG, orig)
+		pl.SetResidual(survivors, orig)
+		pl.Record("repair/ghaffari", res, orig)
+		if len(survivors) == 0 {
+			return nil
+		}
+		bs.Retries++
+		sg := pl.Subgraph()
+		cur, orig = sg.Graph, sg.Orig
+	}
+}
+
+// simCfg returns the engine configuration of this batch's elections. Each
+// batch (and, via bump, each election stage) gets a fresh deterministic
+// seed. Shared by both repair paths; the batch path adds Mem and Tracer on
+// top.
 func (e *Engine) simCfg() sim.Config {
 	b := e.p.B
 	if b == 0 {
@@ -156,14 +358,24 @@ func (e *Engine) simCfg() sim.Config {
 		}
 		b = sim.DefaultB(n)
 	}
-	// Each batch and each election stage gets a fresh deterministic seed.
 	seed := e.p.Seed ^ (e.batchNo+1)*0x9e3779b97f4a7c15
 	return sim.Config{Seed: seed, B: b, Workers: e.p.Workers}
 }
 
+// accountSim folds one election engine run into the batch counters and the
+// per-node awake ledger. orig follows the electGhaffari convention: nil
+// for runs on the full region subgraph, otherwise orig[i] maps run-local
+// node i to its region index.
 func (e *Engine) accountSim(res *sim.Result, orig []int32, region []int32, bs *BatchStats) {
 	bs.Rounds += res.Rounds
 	bs.Messages += res.MsgsSent
+	bs.MsgsDropped += res.MsgsDropped
+	bs.Bits += res.BitsTotal
+	bs.Violations += res.Violations
+	if res.BitsMax > bs.BitsMax {
+		bs.BitsMax = res.BitsMax
+	}
+	e.simMsgs += res.MsgsSent
 	for i, cnt := range res.Awake {
 		v := region[i]
 		if orig != nil {
@@ -171,67 +383,6 @@ func (e *Engine) accountSim(res *sim.Result, orig []int32, region []int32, bs *B
 		}
 		e.awake[v] += int64(cnt)
 		bs.AwakeRounds += int64(cnt)
-	}
-}
-
-// electLuby runs Luby's algorithm to completion on sub.
-func (e *Engine) electLuby(sub *graph.Graph, region []int32, bs *BatchStats) ([]bool, error) {
-	inSub, res, err := luby.Run(sub, e.simCfg())
-	if err != nil {
-		return nil, fmt.Errorf("dynamic: re-election: %w", err)
-	}
-	e.accountSim(res, nil, region, bs)
-	return inSub, nil
-}
-
-// electGhaffari runs the desire-level dynamics for O(log |U|) rounds,
-// retries on stragglers, and finishes any remaining nodes with Luby.
-func (e *Engine) electGhaffari(sub *graph.Graph, region []int32, bs *BatchStats) ([]bool, error) {
-	inSub := make([]bool, sub.N())
-	cur := sub
-	// orig[i] maps cur's node i to sub's node index.
-	orig := identity32(sub.N())
-	cfg := e.simCfg()
-	for attempt := 0; ; attempt++ {
-		if cur.N() == 0 {
-			return inSub, nil
-		}
-		if attempt >= e.p.MaxRetry {
-			// Luby finisher: always terminates.
-			inFin, res, err := luby.Run(cur, bump(cfg, uint64(attempt)))
-			if err != nil {
-				return nil, fmt.Errorf("dynamic: finisher: %w", err)
-			}
-			e.accountSim(res, orig, region, bs)
-			for i, in := range inFin {
-				if in {
-					inSub[orig[i]] = true
-				}
-			}
-			return inSub, nil
-		}
-		rounds := ghaffariRounds(cur.N())
-		inG, survivors, res, err := ghaffari.RunShatter(cur, rounds, bump(cfg, uint64(attempt)))
-		if err != nil {
-			return nil, fmt.Errorf("dynamic: ghaffari: %w", err)
-		}
-		e.accountSim(res, orig, region, bs)
-		for i, in := range inG {
-			if in {
-				inSub[orig[i]] = true
-			}
-		}
-		if len(survivors) == 0 {
-			return inSub, nil
-		}
-		bs.Retries++
-		nextOrig := make([]int32, len(survivors))
-		for i, s := range survivors {
-			nextOrig[i] = orig[s]
-		}
-		next := graph.InducedSubgraph(cur, survivors)
-		// Compose mappings: next's node i is sub's nextOrig[i].
-		cur, orig = next.Graph, nextOrig
 	}
 }
 

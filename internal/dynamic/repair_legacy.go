@@ -1,0 +1,239 @@
+package dynamic
+
+import (
+	"fmt"
+
+	"github.com/energymis/energymis/internal/ghaffari"
+	"github.com/energymis/energymis/internal/graph"
+	"github.com/energymis/energymis/internal/luby"
+)
+
+// This file is the per-node reference repair path (Params.Legacy), frozen
+// as it stood before the batch-engine port: map-based region tracking and
+// the per-node sim engines (luby.RunLegacy / ghaffari.RunShatterLegacy).
+// The batch path in repair.go must produce identical sets and identical
+// deterministic counters; the differential tests in dynamic_test.go hold
+// the two paths against each other.
+
+// repairState tracks the affected region of a batch on the legacy path.
+type repairState struct {
+	// dirty nodes must re-check the MIS invariant (membership conflicts or
+	// lost coverage); woken nodes spent energy this batch (notifications,
+	// probes, elections).
+	dirty map[int32]struct{}
+	woken map[int32]struct{}
+}
+
+func newRepairState() *repairState {
+	return &repairState{
+		dirty: make(map[int32]struct{}),
+		woken: make(map[int32]struct{}),
+	}
+}
+
+func (st *repairState) markDirty(v int32) { st.dirty[v] = struct{}{} }
+func (st *repairState) wake(v int32)      { st.woken[v] = struct{}{} }
+func (st *repairState) unmark(v int32) {
+	delete(st.dirty, v)
+	delete(st.woken, v)
+}
+
+// repairLegacy restores the MIS invariant after a batch's structural
+// changes: conflict eviction, coverage probing, then a localized
+// re-election on the uncovered region.
+func (e *Engine) repairLegacy(st *repairState, bs *BatchStats) error {
+	if len(st.dirty) == 0 && len(st.woken) == 0 {
+		return nil // nothing changed (no-op updates only)
+	}
+	e.resolveConflictsLegacy(st, bs)
+
+	// Coverage probe: every dirty node broadcasts a probe; member
+	// neighbors answer. Listening neighbors wake for the probe round.
+	region := make([]int32, 0, len(st.dirty))
+	for _, v := range sortedKeys(st.dirty) {
+		if !e.alive[v] || e.inSet[v] {
+			continue
+		}
+		bs.Messages += int64(len(e.adj[v])) // probe broadcast
+		covered := false
+		for _, u := range e.adj[v] {
+			st.wake(u)
+			if e.inSet[u] {
+				covered = true
+				bs.Messages++ // member's reply
+			}
+		}
+		if !covered {
+			region = append(region, v)
+		}
+	}
+	bs.Region = len(region)
+
+	bs.Rounds = 1 // the detection/probe round; elections add theirs
+	if len(region) > 0 {
+		if err := e.electLegacy(region, st, bs); err != nil {
+			return err
+		}
+	}
+
+	// Charge the detection/probe round last, over the final woken set, so
+	// every node reported in Woken is also charged at least one awake
+	// round (election awake rounds were added by accountSim).
+	for _, v := range sortedKeys(st.woken) {
+		e.awake[v]++
+		bs.AwakeRounds++
+	}
+	bs.Woken = len(st.woken)
+	return nil
+}
+
+// resolveConflictsLegacy evicts members until no edge has two member
+// endpoints. A conflict edge can only be created by a batch edge insertion
+// (the set was valid before the batch, and elections never join adjacent
+// nodes), so both of its endpoints are in the original dirty set and one
+// sweep over it is exhaustive; evictions only remove members and cannot
+// create new conflicts. The evicted endpoint is the one whose departure
+// uncovers fewer nodes: lower degree, ties toward the higher ID.
+func (e *Engine) resolveConflictsLegacy(st *repairState, bs *BatchStats) {
+	evict := func(m int32) {
+		e.inSet[m] = false
+		bs.Evictions++
+		// The leaver notifies its neighborhood; everyone there must
+		// re-check coverage.
+		bs.Messages += int64(len(e.adj[m]))
+		st.wake(m)
+		st.markDirty(m)
+		for _, u := range e.adj[m] {
+			st.wake(u)
+			st.markDirty(u)
+		}
+	}
+	for _, v := range sortedKeys(st.dirty) {
+		for e.alive[v] && e.inSet[v] {
+			conflict := int32(-1)
+			for _, u := range e.adj[v] {
+				if e.inSet[u] {
+					conflict = u
+					break
+				}
+			}
+			if conflict < 0 {
+				break
+			}
+			loser := v
+			du, dv := len(e.adj[conflict]), len(e.adj[v])
+			if du < dv || (du == dv && conflict > v) {
+				loser = conflict
+			}
+			evict(loser)
+		}
+	}
+}
+
+// electLegacy runs the localized re-election on the induced subgraph of
+// the uncovered region and merges the winners into the set. region is
+// sorted.
+func (e *Engine) electLegacy(region []int32, st *repairState, bs *BatchStats) error {
+	local := make(map[int32]int32, len(region))
+	for i, v := range region {
+		local[v] = int32(i)
+	}
+	b := graph.NewBuilder(len(region))
+	for i, v := range region {
+		for _, u := range e.adj[v] {
+			if j, ok := local[u]; ok && int32(i) < j {
+				b.AddEdge(i, int(j))
+			}
+		}
+	}
+	sub := b.Build()
+
+	var inSub []bool
+	var err error
+	switch e.p.Repair {
+	case RepairGhaffari:
+		inSub, err = e.electGhaffariLegacy(sub, region, bs)
+	default:
+		inSub, err = e.electLubyLegacy(sub, region, bs)
+	}
+	if err != nil {
+		return err
+	}
+
+	for i, in := range inSub {
+		if !in {
+			continue
+		}
+		v := region[i]
+		e.inSet[v] = true
+		bs.Joins++
+		// The joiner notifies its full neighborhood.
+		bs.Messages += int64(len(e.adj[v]))
+		for _, u := range e.adj[v] {
+			st.wake(u)
+		}
+	}
+	return nil
+}
+
+// electLubyLegacy runs per-node Luby to completion on sub.
+func (e *Engine) electLubyLegacy(sub *graph.Graph, region []int32, bs *BatchStats) ([]bool, error) {
+	inSub, res, err := luby.RunLegacy(sub, e.simCfg())
+	if err != nil {
+		return nil, fmt.Errorf("dynamic: re-election: %w", err)
+	}
+	e.accountSim(res, nil, region, bs)
+	return inSub, nil
+}
+
+// electGhaffariLegacy runs the per-node desire-level dynamics for
+// O(log |U|) rounds, retries on stragglers, and finishes any remaining
+// nodes with Luby.
+func (e *Engine) electGhaffariLegacy(sub *graph.Graph, region []int32, bs *BatchStats) ([]bool, error) {
+	inSub := make([]bool, sub.N())
+	cur := sub
+	// orig[i] maps cur's node i to sub's node index.
+	orig := identity32(sub.N())
+	cfg := e.simCfg()
+	for attempt := 0; ; attempt++ {
+		if cur.N() == 0 {
+			return inSub, nil
+		}
+		if attempt >= e.p.MaxRetry {
+			// Luby finisher: always terminates.
+			inFin, res, err := luby.RunLegacy(cur, bump(cfg, uint64(attempt)))
+			if err != nil {
+				return nil, fmt.Errorf("dynamic: finisher: %w", err)
+			}
+			e.accountSim(res, orig, region, bs)
+			for i, in := range inFin {
+				if in {
+					inSub[orig[i]] = true
+				}
+			}
+			return inSub, nil
+		}
+		rounds := ghaffariRounds(cur.N())
+		inG, survivors, res, err := ghaffari.RunShatterLegacy(cur, rounds, bump(cfg, uint64(attempt)))
+		if err != nil {
+			return nil, fmt.Errorf("dynamic: ghaffari: %w", err)
+		}
+		e.accountSim(res, orig, region, bs)
+		for i, in := range inG {
+			if in {
+				inSub[orig[i]] = true
+			}
+		}
+		if len(survivors) == 0 {
+			return inSub, nil
+		}
+		bs.Retries++
+		nextOrig := make([]int32, len(survivors))
+		for i, s := range survivors {
+			nextOrig[i] = orig[s]
+		}
+		next := graph.InducedSubgraph(cur, survivors)
+		// Compose mappings: next's node i is sub's nextOrig[i].
+		cur, orig = next.Graph, nextOrig
+	}
+}
