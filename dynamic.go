@@ -65,7 +65,12 @@ type DynamicStats = dynamic.Stats
 type DynamicOptions struct {
 	// Seed drives the bootstrap run and all repair randomness.
 	Seed uint64
-	// Workers > 1 runs bootstrap and re-elections on a worker pool.
+	// Workers > 1 runs the bootstrap on the parallel engine executor and
+	// elects independent repair-region components concurrently on a
+	// worker pool with per-worker engine memory. Results are
+	// byte-identical for every worker count — the per-component counters
+	// and trace spans merge in deterministic region order — so Workers
+	// trades wall clock only. See docs/DYNAMIC.md for when it pays.
 	Workers int
 	// B overrides the CONGEST budget in bits (0 = default).
 	B int

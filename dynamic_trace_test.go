@@ -16,7 +16,10 @@ func TestDynamicTraceReproducesRepairTotals(t *testing.T) {
 	for _, repair := range []RepairAlgo{RepairLuby, RepairGhaffari} {
 		t.Run(repair.String(), func(t *testing.T) {
 			path := filepath.Join(t.TempDir(), "dyn.jsonl")
-			g := GNP(400, 10.0/400, 3)
+			// A unit-disk graph: its clustering makes adjacent nodes lose
+			// coverage together, so repairs exercise both multi-node region
+			// components (engine election spans) and singleton decisions.
+			g := RandomGeometric(400, RadiusForAvgDegree(400, 12), 3)
 			d, err := NewDynamic(g, Algorithm1, DynamicOptions{
 				Seed: 9, Repair: repair, Window: 16, TracePath: path, SelfCheck: true,
 			})
@@ -80,6 +83,9 @@ func TestDynamicTraceReproducesRepairTotals(t *testing.T) {
 			if elections == 0 {
 				t.Error("no election spans in trace")
 			}
+			if names["repair/singleton"] == 0 {
+				t.Error("no singleton spans in trace")
+			}
 			if problems := obs.CheckTrace(tr); len(problems) != 0 {
 				t.Errorf("CheckTrace: %v", problems)
 			}
@@ -127,6 +133,58 @@ func TestDynamicWindowedValidity(t *testing.T) {
 		if st.Updates != int64(len(flat)) {
 			t.Fatalf("window %d: applied %d updates, want %d", window, st.Updates, len(flat))
 		}
+	}
+}
+
+// TestDynamicParallelTraceDeterministic runs the same traced workload at
+// Workers 1 and Workers 8: parallel component elections buffer their
+// spans per component and replay them in component order, so the
+// canonical traces (wall times stripped) must be byte-identical, and the
+// parallel trace must still conserve under CheckTrace.
+func TestDynamicParallelTraceDeterministic(t *testing.T) {
+	g := RandomGeometric(500, RadiusForAvgDegree(500, 12), 11)
+	flat := FlattenStream(ChurnStream(g, 60, 4, 13))
+	trace := func(workers int) []byte {
+		path := filepath.Join(t.TempDir(), "dyn.jsonl")
+		d, err := NewDynamicFrom(g, GreedyMIS(g), DynamicOptions{
+			Seed: 5, Window: 16, Workers: workers, TracePath: path,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.ApplyBatch(flat); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Close(); err != nil {
+			t.Fatal(err)
+		}
+		tr, err := obs.ReadTraceFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if workers > 1 {
+			if problems := obs.CheckTrace(tr); len(problems) != 0 {
+				t.Errorf("CheckTrace (workers=%d): %v", workers, problems)
+			}
+		}
+		// Drop the header: it legitimately records the worker count (and
+		// environment details). Everything below it must match.
+		recs := obs.Canonical(tr)[:0:0]
+		for _, r := range obs.Canonical(tr) {
+			if r.Type != obs.RecHeader {
+				recs = append(recs, r)
+			}
+		}
+		b, err := obs.CanonicalBytes(recs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	seq := trace(1)
+	par := trace(8)
+	if string(seq) != string(par) {
+		t.Error("canonical traces differ between Workers 1 and Workers 8")
 	}
 }
 

@@ -52,7 +52,7 @@ func ExampleNewDynamic() {
 	// Output:
 	// updates: 50
 	// mis still valid: true
-	// awake node-rounds per update: 15.4
+	// awake node-rounds per update: 15.2
 }
 
 // ExampleDynamicMIS_ApplyBatch coalesces an update stream through a
@@ -85,7 +85,7 @@ func ExampleDynamicMIS_ApplyBatch() {
 	// updates: 64
 	// repair batches: 4
 	// valid mis: true
-	// awake node-rounds per update: 11.8
+	// awake node-rounds per update: 11.6
 }
 
 // ExampleRun_batchPipeline runs many simulations through one pooled

@@ -1,0 +1,119 @@
+package bitvec
+
+import (
+	"math/bits"
+	"slices"
+)
+
+// Stamped is a reusable set of int32 keys with O(1) clearing: every
+// 64-bit word carries an epoch stamp, Reset bumps the epoch, and a stale
+// word is zeroed lazily on its first write in the new epoch. A touched
+// list records which words the current epoch wrote, so enumeration and
+// population count scan only those — a set that marks k keys costs O(k)
+// to walk no matter how large the key space has grown.
+//
+// This is the first slice of the frontier/bitset engine (ROADMAP item 3):
+// the dynamic repair path tracks its dirty/woken/region sets in Stamped
+// vectors, replacing insertion-ordered id lists plus sort.Slice snapshots
+// with word operations and a sorted walk over the touched words.
+//
+// The zero value is an empty set. Methods are not safe for concurrent
+// use.
+type Stamped struct {
+	words   []uint64
+	stamps  []uint64
+	touched []int32 // word indices written this epoch, unordered
+	epoch   uint64
+}
+
+// A word is live when its stamp equals epoch+1, so the zero value's
+// epoch 0 never matches the zero stamps of freshly grown words.
+func (s *Stamped) cur() uint64 { return s.epoch + 1 }
+
+// Reset empties the set in O(1) (plus truncating the touched list).
+func (s *Stamped) Reset() {
+	s.epoch++
+	s.touched = s.touched[:0]
+}
+
+// Grow extends the key space to cover [0, n). The missing word run is
+// appended in one allocation. Set requires a prior Grow covering its key;
+// Has and Clear tolerate out-of-range keys.
+func (s *Stamped) Grow(n int) {
+	w := (n + 63) >> 6
+	if w > len(s.words) {
+		s.words = append(s.words, make([]uint64, w-len(s.words))...)
+		s.stamps = append(s.stamps, make([]uint64, w-len(s.stamps))...)
+	}
+}
+
+// Set adds i to the set, reporting whether it was absent. The key must be
+// covered by a prior Grow.
+func (s *Stamped) Set(i int32) bool {
+	w := int(i) >> 6
+	bit := uint64(1) << (uint32(i) & 63)
+	if s.stamps[w] != s.cur() {
+		s.stamps[w] = s.cur()
+		s.words[w] = 0
+		s.touched = append(s.touched, int32(w))
+	}
+	if s.words[w]&bit != 0 {
+		return false
+	}
+	s.words[w] |= bit
+	return true
+}
+
+// Has reports whether i is in the set.
+func (s *Stamped) Has(i int32) bool {
+	w := int(i) >> 6
+	if w >= len(s.words) || s.stamps[w] != s.cur() {
+		return false
+	}
+	return s.words[w]&(1<<(uint32(i)&63)) != 0
+}
+
+// Clear removes i from the set (a no-op when absent).
+func (s *Stamped) Clear(i int32) {
+	w := int(i) >> 6
+	if w >= len(s.words) || s.stamps[w] != s.cur() {
+		return
+	}
+	s.words[w] &^= 1 << (uint32(i) & 63)
+}
+
+// Any reports whether the set is non-empty.
+func (s *Stamped) Any() bool {
+	for _, w := range s.touched {
+		if s.words[w] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Count returns the number of keys in the set.
+func (s *Stamped) Count() int {
+	n := 0
+	for _, w := range s.touched {
+		n += bits.OnesCount64(s.words[w])
+	}
+	return n
+}
+
+// AppendAscending appends the set's keys to dst in ascending order and
+// returns the extended slice: the touched word list is sorted in place,
+// then each word's bits are extracted low-to-high. Cost is O(t log t + k)
+// for t touched words and k keys — no per-key comparison sort.
+func (s *Stamped) AppendAscending(dst []int32) []int32 {
+	slices.Sort(s.touched)
+	for _, w := range s.touched {
+		x := s.words[w]
+		base := w << 6
+		for x != 0 {
+			dst = append(dst, base+int32(bits.TrailingZeros64(x)))
+			x &= x - 1
+		}
+	}
+	return dst
+}

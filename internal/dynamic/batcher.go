@@ -27,26 +27,50 @@ func (b *Batcher) Window() int { return b.window }
 func (b *Batcher) Pending() int { return len(b.pending) }
 
 // Add buffers one update. When the buffer reaches the window size it is
-// applied as one batch; flushed reports whether that happened, and bs is
-// the repair cost of the flush (zero otherwise). Between flushes the
-// engine's set is stale with respect to the buffered updates — call Flush
-// before reading the set.
+// applied as one batch; flushed reports whether that fully succeeded, and
+// bs is the repair cost of the flush (zero otherwise). On a flush error,
+// flushed is false and the un-applied suffix stays buffered (see Flush).
+// Between flushes the engine's set is stale with respect to the buffered
+// updates — call Flush before reading the set.
 func (b *Batcher) Add(u Update) (bs BatchStats, flushed bool, err error) {
 	b.pending = append(b.pending, u)
 	if len(b.pending) < b.window {
 		return BatchStats{}, false, nil
 	}
 	bs, err = b.Flush()
-	return bs, true, err
+	return bs, err == nil, err
 }
 
 // Flush applies the buffered updates as one batch. A no-op (zero
 // BatchStats) when nothing is pending.
+//
+// On error the buffer is not silently dropped: Engine.Apply applies a
+// valid prefix (bs.Updates updates, already repaired) and rejects one
+// update, so Flush drops exactly that applied prefix plus the rejected
+// update — which can never succeed, and the returned error reports it —
+// and keeps the remaining suffix buffered for the next Flush. The
+// engine's set is valid either way.
 func (b *Batcher) Flush() (BatchStats, error) {
 	if len(b.pending) == 0 {
 		return BatchStats{}, nil
 	}
 	bs, err := b.e.Apply(b.pending)
+	if err != nil {
+		drop := bs.Updates + 1
+		if drop > len(b.pending) {
+			drop = len(b.pending)
+		}
+		b.pending = b.pending[:copy(b.pending, b.pending[drop:])]
+		return bs, err
+	}
 	b.pending = b.pending[:0]
-	return bs, err
+	return bs, nil
+}
+
+// Discard drops the buffered updates without applying them, returning how
+// many were dropped.
+func (b *Batcher) Discard() int {
+	n := len(b.pending)
+	b.pending = b.pending[:0]
+	return n
 }

@@ -30,13 +30,22 @@
 // woken node is within two hops of an update endpoint.
 //
 // Engine paths. The default repair path runs on the SoA batch runtime:
-// the affected region is tracked in epoch-stamped arrays, the re-election
-// is composed as an internal/pipeline run (batch luby / batch ghaffari
-// with a Luby finisher) over one pooled sim.Mem owned by the Engine, and
-// Params.Tracer receives a phase span per election stage plus a synthetic
+// the affected region is tracked in epoch-stamped bitvec.Stamped sets,
+// and the uncovered region is split into connected components by a
+// union-find partitioner (partition.go). Each component is an independent
+// election: singletons join analytically without an engine run, and the
+// rest are composed as internal/pipeline runs (batch luby / batch
+// ghaffari with a Luby finisher). With Params.Workers > 1 the non-trivial
+// components are elected concurrently on a per-worker sim.Mem pool; a
+// deterministic region-ordered merge then folds the per-component
+// counters and set joins, so every worker count produces byte-identical
+// results. Params.Tracer receives a phase span per election stage
+// (buffered per component, replayed in component order), a
+// "repair/singleton" span for the analytic joins, and a synthetic
 // one-round "repair/detect" span per batch. Params.Legacy selects the
-// frozen per-node reference path (repair_legacy.go) — identical sets and
-// identical deterministic counters, proven by differential tests.
+// frozen per-node reference path (repair_legacy.go), which shares the
+// partition, seed derivation, and merge — identical sets and identical
+// deterministic counters, proven by differential tests.
 //
 // Batcher coalesces a window of updates into one Apply: overlapping
 // repair regions merge and are re-elected once, which is what turns the

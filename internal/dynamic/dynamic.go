@@ -2,6 +2,7 @@ package dynamic
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"github.com/energymis/energymis/internal/graph"
@@ -101,7 +102,14 @@ type Params struct {
 	Repair RepairAlgo
 	// B overrides the CONGEST budget in bits (0 = 4·ceil(log2 n)).
 	B int
-	// Workers > 1 runs re-elections on the parallel executor.
+	// Workers > 1 parallelizes repair across the independent components
+	// of the affected region: each connected component of the uncovered
+	// region's induced subgraph elects on its own worker with its own
+	// sim.Mem, and a deterministic region-ordered merge folds the results
+	// (partition.go). When a batch yields fewer components than workers,
+	// the spare budget goes to the election engine's parallel executor
+	// instead. Counters and sets are byte-identical for every worker
+	// count.
 	Workers int
 	// MaxRetry bounds the Ghaffari retry loop before the Luby finisher
 	// takes over.
@@ -118,9 +126,13 @@ type Params struct {
 	// head-to-head benchmarks.
 	Legacy bool
 	// Tracer, when non-nil, receives phase spans for every repair
-	// (election spans from the pipeline, plus one synthetic one-round
-	// "repair/detect" span per batch) and per-round events from the
-	// election engines. Only the batch path is traced; Legacy ignores it.
+	// (election spans from the pipeline, a synthetic "repair/singleton"
+	// span aggregating the analytic singleton-component decisions, plus
+	// one synthetic one-round "repair/detect" span per batch) and
+	// per-round events from the election engines. Parallel component
+	// elections buffer their events per component and replay them in
+	// component order, so the trace is deterministic up to wall times.
+	// Only the batch path is traced; Legacy ignores it.
 	Tracer obs.Tracer
 }
 
@@ -146,15 +158,22 @@ type Engine struct {
 	stats   Stats
 	batchNo uint64
 
-	// Batch-path resources: one pooled engine-buffer set shared by every
-	// election of every batch, the epoch-stamped region scratch, and the
-	// tracer. simMsgs counts the engine messages of the current batch's
-	// elections, so the analytic detection-round messages can be split out
-	// for the trace.
-	mem     *sim.Mem
+	// Batch-path resources: per-worker pooled engine buffers (slot 0
+	// doubles as the sequential path's pool), the epoch-stamped region
+	// scratch, and the tracer. simMsgs counts the engine messages of the
+	// current batch's elections, so the analytic detection-round messages
+	// can be split out for the trace.
+	memPool sim.MemPool
 	scr     scratch
 	tracer  obs.Tracer
 	simMsgs int64
+
+	// Component machinery shared by both repair paths: the union-find
+	// region partitioner, per-component election state, and the reusable
+	// work list of non-singleton component ordinals (partition.go).
+	part  partitioner
+	comps []compRun
+	work  []int32
 }
 
 // New wraps an existing valid MIS of g in a dynamic engine. The inSet
@@ -179,8 +198,11 @@ func New(g *graph.Graph, inSet []bool, p Params) (*Engine, error) {
 		edges:      g.M(),
 		inSet:      make([]bool, n),
 		awake:      make([]int64, n),
-		mem:        sim.NewMem(),
-		tracer:     p.Tracer,
+	}
+	if !p.Legacy {
+		// Only the batch path is traced (see Params.Tracer); clearing the
+		// field here lets the shared merge treat "tracer set" as "emit".
+		e.tracer = p.Tracer
 	}
 	copy(e.inSet, inSet)
 	for v := 0; v < n; v++ {
@@ -414,6 +436,10 @@ func (e *Engine) Apply(batch []Update) (BatchStats, error) {
 	if bs.Region > e.stats.MaxRegion {
 		e.stats.MaxRegion = bs.Region
 	}
+	e.stats.Components += int64(bs.Components)
+	if bs.Components > e.stats.MaxComponents {
+		e.stats.MaxComponents = bs.Components
+	}
 	e.batchNo++
 
 	if applyErr != nil {
@@ -520,7 +546,7 @@ func sortedKeys(set map[int32]struct{}) []int32 {
 	for v := range set {
 		out = append(out, v)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 

@@ -3,8 +3,8 @@ package dynamic
 import (
 	"fmt"
 	"math"
-	"sort"
 
+	"github.com/energymis/energymis/internal/bitvec"
 	"github.com/energymis/energymis/internal/ghaffari"
 	"github.com/energymis/energymis/internal/graph"
 	"github.com/energymis/energymis/internal/luby"
@@ -14,122 +14,93 @@ import (
 )
 
 // This file is the default batch-engine repair path: the affected region
-// of a coalesced update window is tracked in epoch-stamped arrays (zero
-// steady-state allocation, unlike the legacy maps), and the re-election
-// runs as an internal/pipeline composition on the SoA batch runtime with
-// the engine's single pooled sim.Mem. Counters are deterministic and
-// identical to repair_legacy.go — same analytic charges, same seed
-// derivation, and the batch election engines are counter-identical to the
-// per-node ones (proven by their own differential tests).
+// of a coalesced update window is tracked in epoch-stamped bit vectors
+// (zero steady-state allocation, word-op detection sweeps), and the
+// re-election runs per independent region component as internal/pipeline
+// compositions on the SoA batch runtime — concurrently across components
+// when Params.Workers > 1 (see partition.go). Counters are deterministic
+// and identical to repair_legacy.go — same analytic charges, same seed
+// derivations, the same partition and merge, and the batch election
+// engines are counter-identical to the per-node ones (proven by their own
+// differential tests).
 
-// scratch is the batch path's reusable region tracker. A node is in the
-// dirty (resp. woken) set iff its stamp equals the current epoch; begin
-// bumps the epoch, which empties both sets in O(1). The insertion-ordered
-// id lists exist only so snapshots need not scan all n stamps.
+// scratch is the batch path's reusable region tracker. The dirty and
+// woken sets live in epoch-stamped bit vectors: begin bumps the epochs,
+// which empties both sets in O(1), and membership, insertion, and sorted
+// enumeration are word operations over the words the batch touched.
 type scratch struct {
-	epoch      uint64
-	dirtyStamp []uint64
-	wokenStamp []uint64
-	dirty      []int32 // stamped-insertion order, may contain unmarked ids
-	woken      []int32
+	dirty bitvec.Stamped
+	woken bitvec.Stamped
 
-	// Election scratch: region membership stamps + local index for the
-	// subgraph build (replacing the legacy map), and reusable snapshot
-	// buffers for the sorted sweeps.
-	localStamp []uint64
-	localIdx   []int32
-	snap       []int32
-	region     []int32
+	// Election scratch: region membership + local index for the region
+	// subgraph build, the region buffer, and one snapshot buffer per
+	// sweep — sortedDirty and sortedWoken each own theirs, so a call to
+	// one never invalidates the other's return.
+	local     bitvec.Stamped
+	localIdx  []int32
+	dirtySnap []int32
+	wokenSnap []int32
+	region    []int32
 }
 
 // begin opens a new batch over n node slots and returns the tracker.
 func (s *scratch) begin(n int) *scratch {
-	s.epoch++
+	s.dirty.Reset()
+	s.woken.Reset()
 	s.grow(n)
-	s.dirty = s.dirty[:0]
-	s.woken = s.woken[:0]
 	return s
 }
 
-// grow extends the stamp arrays to cover n slots (node inserts mid-batch
-// extend the slot space past what begin saw).
+// grow extends the trackers to cover n slots (node inserts mid-batch
+// extend the slot space past what begin saw). Missing runs are appended
+// in one allocation per array.
 func (s *scratch) grow(n int) {
-	for len(s.dirtyStamp) < n {
-		s.dirtyStamp = append(s.dirtyStamp, 0)
-		s.wokenStamp = append(s.wokenStamp, 0)
-		s.localStamp = append(s.localStamp, 0)
-		s.localIdx = append(s.localIdx, 0)
+	if len(s.localIdx) < n {
+		s.localIdx = append(s.localIdx, make([]int32, n-len(s.localIdx))...)
 	}
+	s.dirty.Grow(n)
+	s.woken.Grow(n)
+	s.local.Grow(n)
 }
 
 func (s *scratch) markDirty(v int32) {
 	s.grow(int(v) + 1)
-	if s.dirtyStamp[v] != s.epoch {
-		s.dirtyStamp[v] = s.epoch
-		s.dirty = append(s.dirty, v)
-	}
+	s.dirty.Set(v)
 }
 
 func (s *scratch) wake(v int32) {
 	s.grow(int(v) + 1)
-	if s.wokenStamp[v] != s.epoch {
-		s.wokenStamp[v] = s.epoch
-		s.woken = append(s.woken, v)
-	}
+	s.woken.Set(v)
 }
 
 // unmark removes v from both sets (its slot died mid-batch). Dead slots
-// are never re-marked, so the stale entry left in the id lists stays
-// filtered out by its cleared stamp.
+// are never re-marked.
 func (s *scratch) unmark(v int32) {
-	if int(v) < len(s.dirtyStamp) {
-		s.dirtyStamp[v] = 0
-		s.wokenStamp[v] = 0
-	}
+	s.dirty.Clear(v)
+	s.woken.Clear(v)
 }
 
 func (s *scratch) empty() bool {
-	for _, v := range s.dirty {
-		if s.dirtyStamp[v] == s.epoch {
-			return false
-		}
-	}
-	for _, v := range s.woken {
-		if s.wokenStamp[v] == s.epoch {
-			return false
-		}
-	}
-	return true
+	return !s.dirty.Any() && !s.woken.Any()
 }
 
-// sortedDirty returns the currently-marked dirty set, ascending, in the
-// reusable snapshot buffer (valid until the next sorted* call).
+// sortedDirty snapshots the dirty set, ascending, into its own reusable
+// buffer (valid until the next sortedDirty call).
 func (s *scratch) sortedDirty() []int32 {
-	s.snap = s.snap[:0]
-	for _, v := range s.dirty {
-		if s.dirtyStamp[v] == s.epoch {
-			s.snap = append(s.snap, v)
-		}
-	}
-	sort.Slice(s.snap, func(i, j int) bool { return s.snap[i] < s.snap[j] })
-	return s.snap
+	s.dirtySnap = s.dirty.AppendAscending(s.dirtySnap[:0])
+	return s.dirtySnap
 }
 
-// sortedWoken is sortedDirty for the woken set.
+// sortedWoken snapshots the woken set, ascending, into its own reusable
+// buffer (valid until the next sortedWoken call).
 func (s *scratch) sortedWoken() []int32 {
-	s.snap = s.snap[:0]
-	for _, v := range s.woken {
-		if s.wokenStamp[v] == s.epoch {
-			s.snap = append(s.snap, v)
-		}
-	}
-	sort.Slice(s.snap, func(i, j int) bool { return s.snap[i] < s.snap[j] })
-	return s.snap
+	s.wokenSnap = s.woken.AppendAscending(s.wokenSnap[:0])
+	return s.wokenSnap
 }
 
 // repairBatch restores the MIS invariant after a batch's structural
-// changes: conflict eviction, coverage probing, then one pipeline-composed
-// re-election on the union of the uncovered regions.
+// changes: conflict eviction, coverage probing, then per-component
+// re-elections over the uncovered region.
 func (e *Engine) repairBatch(st *scratch, bs *BatchStats) error {
 	if st.empty() {
 		return nil // nothing changed (no-op updates only)
@@ -167,7 +138,7 @@ func (e *Engine) repairBatch(st *scratch, bs *BatchStats) error {
 
 	// Charge the detection/probe round last, over the final woken set, so
 	// every node reported in Woken is also charged at least one awake
-	// round (election awake rounds were added by accountSim).
+	// round (election awake rounds were folded by mergeComponents).
 	woken := st.sortedWoken()
 	for _, v := range woken {
 		e.awake[v]++
@@ -192,8 +163,10 @@ func (e *Engine) repairBatch(st *scratch, bs *BatchStats) error {
 }
 
 // resolveConflictsBatch evicts members until no edge has two member
-// endpoints; same sweep and tie-breaks as resolveConflictsLegacy (see the
-// exhaustiveness argument there).
+// endpoints; same sweep and tie-breaks as the legacy path (see the
+// exhaustiveness argument there). The sweep iterates a snapshot while
+// evictions mark more nodes dirty — safe, since each sweep owns its
+// snapshot buffer.
 func (e *Engine) resolveConflictsBatch(st *scratch, bs *BatchStats) {
 	evict := func(m int32) {
 		e.inSet[m] = false
@@ -208,8 +181,6 @@ func (e *Engine) resolveConflictsBatch(st *scratch, bs *BatchStats) {
 			st.markDirty(u)
 		}
 	}
-	// The snapshot buffer would be clobbered by nested sorted* calls; the
-	// sweep below only appends to st.dirty, which is safe.
 	for _, v := range st.sortedDirty() {
 		for e.alive[v] && e.inSet[v] {
 			conflict := int32(-1)
@@ -232,83 +203,78 @@ func (e *Engine) resolveConflictsBatch(st *scratch, bs *BatchStats) {
 	}
 }
 
-// electBatch runs the localized re-election on the induced subgraph of the
-// uncovered region as a pipeline over the batch engines, and merges the
-// winners into the set. region is sorted and must not alias st.snap.
+// electBatch builds the uncovered region's induced subgraph (region
+// membership tested by bit vector) and hands it to the component
+// partition/election/merge machinery. region is sorted ascending.
 func (e *Engine) electBatch(region []int32, st *scratch, bs *BatchStats) error {
 	st.grow(len(e.adj))
+	st.local.Reset()
 	for i, v := range region {
+		st.local.Set(v)
 		st.localIdx[v] = int32(i)
-		st.localStamp[v] = st.epoch
 	}
 	b := graph.NewBuilder(len(region))
 	for i, v := range region {
 		for _, u := range e.adj[v] {
-			if st.localStamp[u] == st.epoch && int32(i) < st.localIdx[u] {
+			if st.local.Has(u) && int32(i) < st.localIdx[u] {
 				b.AddEdge(i, int(st.localIdx[u]))
 			}
 		}
 	}
-	sub := b.Build()
+	return e.electComponents(b.Build(), region, st, bs)
+}
 
-	// One pipeline per batch: shared pooled Mem across every election
-	// stage, residual tracking between Ghaffari attempts, phase spans for
-	// the tracer. Seeds come from simCfg/bump — the legacy derivation —
-	// not Pipeline.Cfg, to keep the two paths counter-identical.
-	cfg := e.simCfg()
-	cfg.Mem = e.mem
-	cfg.Tracer = e.tracer
-	pl := pipeline.New(sub, cfg)
-
+// electComponent elects one non-singleton component on the batch engines:
+// an internal/pipeline composition over the component's induced subgraph,
+// with the given Mem and inner worker count. Results land in the
+// component's compRun only; with a tracer attached, phase spans and round
+// events buffer in the component's Recorder for ordered replay at merge.
+func (e *Engine) electComponent(sub *graph.Graph, c int, base sim.Config, mem *sim.Mem, workers int) {
+	cr := &e.comps[c]
+	sg := graph.InducedSubgraph(sub, cr.ids)
+	cfg := compCfg(base, uint64(c))
+	cfg.Mem = mem
+	cfg.Workers = workers
+	if cr.rec != nil {
+		cfg.Tracer = cr.rec
+	}
+	pl := pipeline.New(sg.Graph, cfg)
 	var err error
 	switch e.p.Repair {
 	case RepairGhaffari:
-		err = e.electGhaffariBatch(pl, cfg, region, bs)
+		err = e.electGhaffariComp(pl, cfg, cr)
 	default:
-		err = e.electLubyBatch(pl, cfg, region, bs)
+		err = e.electLubyComp(pl, cfg, cr)
 	}
 	if err != nil {
-		return err
+		cr.err = err
+		return
 	}
-
-	for i, in := range pl.InSet() {
-		if !in {
-			continue
-		}
-		v := region[i]
-		e.inSet[v] = true
-		bs.Joins++
-		// The joiner notifies its full neighborhood.
-		bs.Messages += int64(len(e.adj[v]))
-		for _, u := range e.adj[v] {
-			st.wake(u)
-		}
-	}
-	return nil
+	cr.inSet = pl.InSet()
 }
 
-// electLubyBatch runs batch Luby to completion on the region subgraph.
-func (e *Engine) electLubyBatch(pl *pipeline.Pipeline, cfg sim.Config, region []int32, bs *BatchStats) error {
+// electLubyComp runs batch Luby to completion on the component subgraph.
+func (e *Engine) electLubyComp(pl *pipeline.Pipeline, cfg sim.Config, cr *compRun) error {
 	pl.Begin("repair/luby")
 	inSub, res, err := luby.Run(pl.Graph(), cfg)
 	if err != nil {
 		return fmt.Errorf("dynamic: re-election: %w", err)
 	}
-	e.accountSim(res, nil, region, bs)
+	cr.account(res, nil)
 	pl.Join(inSub, nil)
 	pl.SetResidual(nil, nil)
 	pl.Record("repair/luby", res, nil)
 	return nil
 }
 
-// electGhaffariBatch runs the batch desire-level dynamics for O(log |U|)
+// electGhaffariComp runs the batch desire-level dynamics for O(log |C|)
 // rounds, retries on stragglers, and finishes any remaining nodes with
 // batch Luby. Residual composition between attempts goes through the
 // pipeline (equivalent to the legacy orig-chain: induced subgraphs of
 // induced subgraphs compose, and survivor lists are ascending).
-func (e *Engine) electGhaffariBatch(pl *pipeline.Pipeline, cfg sim.Config, region []int32, bs *BatchStats) error {
+func (e *Engine) electGhaffariComp(pl *pipeline.Pipeline, cfg sim.Config, cr *compRun) error {
 	cur := pl.Graph()
-	var orig []int32 // cur's node i is region subgraph node orig[i]; nil = identity
+	var orig []int32 // cur's node i is component node orig[i]; nil = identity
 	for attempt := 0; ; attempt++ {
 		if cur.N() == 0 {
 			return nil
@@ -320,7 +286,7 @@ func (e *Engine) electGhaffariBatch(pl *pipeline.Pipeline, cfg sim.Config, regio
 			if err != nil {
 				return fmt.Errorf("dynamic: finisher: %w", err)
 			}
-			e.accountSim(res, orig, region, bs)
+			cr.account(res, orig)
 			pl.Join(inFin, orig)
 			pl.SetResidual(nil, nil)
 			pl.Record("repair/finisher", res, orig)
@@ -332,23 +298,23 @@ func (e *Engine) electGhaffariBatch(pl *pipeline.Pipeline, cfg sim.Config, regio
 		if err != nil {
 			return fmt.Errorf("dynamic: ghaffari: %w", err)
 		}
-		e.accountSim(res, orig, region, bs)
+		cr.account(res, orig)
 		pl.Join(inG, orig)
 		pl.SetResidual(survivors, orig)
 		pl.Record("repair/ghaffari", res, orig)
 		if len(survivors) == 0 {
 			return nil
 		}
-		bs.Retries++
+		cr.retries++
 		sg := pl.Subgraph()
 		cur, orig = sg.Graph, sg.Orig
 	}
 }
 
-// simCfg returns the engine configuration of this batch's elections. Each
-// batch (and, via bump, each election stage) gets a fresh deterministic
-// seed. Shared by both repair paths; the batch path adds Mem and Tracer on
-// top.
+// simCfg returns the base engine configuration of this batch's elections.
+// Each batch gets a fresh deterministic seed; compCfg then splits it per
+// component, and bump per retry attempt. Shared by both repair paths; the
+// batch path adds Mem, Workers, and Tracer per component on top.
 func (e *Engine) simCfg() sim.Config {
 	b := e.p.B
 	if b == 0 {
@@ -359,31 +325,7 @@ func (e *Engine) simCfg() sim.Config {
 		b = sim.DefaultB(n)
 	}
 	seed := e.p.Seed ^ (e.batchNo+1)*0x9e3779b97f4a7c15
-	return sim.Config{Seed: seed, B: b, Workers: e.p.Workers}
-}
-
-// accountSim folds one election engine run into the batch counters and the
-// per-node awake ledger. orig follows the electGhaffari convention: nil
-// for runs on the full region subgraph, otherwise orig[i] maps run-local
-// node i to its region index.
-func (e *Engine) accountSim(res *sim.Result, orig []int32, region []int32, bs *BatchStats) {
-	bs.Rounds += res.Rounds
-	bs.Messages += res.MsgsSent
-	bs.MsgsDropped += res.MsgsDropped
-	bs.Bits += res.BitsTotal
-	bs.Violations += res.Violations
-	if res.BitsMax > bs.BitsMax {
-		bs.BitsMax = res.BitsMax
-	}
-	e.simMsgs += res.MsgsSent
-	for i, cnt := range res.Awake {
-		v := region[i]
-		if orig != nil {
-			v = region[orig[i]]
-		}
-		e.awake[v] += int64(cnt)
-		bs.AwakeRounds += int64(cnt)
-	}
+	return sim.Config{Seed: seed, B: b}
 }
 
 func ghaffariRounds(n int) int {

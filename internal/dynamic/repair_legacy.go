@@ -6,14 +6,16 @@ import (
 	"github.com/energymis/energymis/internal/ghaffari"
 	"github.com/energymis/energymis/internal/graph"
 	"github.com/energymis/energymis/internal/luby"
+	"github.com/energymis/energymis/internal/sim"
 )
 
-// This file is the per-node reference repair path (Params.Legacy), frozen
-// as it stood before the batch-engine port: map-based region tracking and
-// the per-node sim engines (luby.RunLegacy / ghaffari.RunShatterLegacy).
-// The batch path in repair.go must produce identical sets and identical
-// deterministic counters; the differential tests in dynamic_test.go hold
-// the two paths against each other.
+// This file is the per-node reference repair path (Params.Legacy):
+// map-based region tracking and the per-node sim engines (luby.RunLegacy /
+// ghaffari.RunShatterLegacy), always sequential. It shares the region
+// partition, per-component seed derivation, and region-ordered merge with
+// the batch path (partition.go), so the two paths must produce identical
+// sets and identical deterministic counters for every worker count; the
+// differential tests hold them against each other.
 
 // repairState tracks the affected region of a batch on the legacy path.
 type repairState struct {
@@ -78,7 +80,7 @@ func (e *Engine) repairLegacy(st *repairState, bs *BatchStats) error {
 
 	// Charge the detection/probe round last, over the final woken set, so
 	// every node reported in Woken is also charged at least one awake
-	// round (election awake rounds were added by accountSim).
+	// round (election awake rounds were folded by mergeComponents).
 	for _, v := range sortedKeys(st.woken) {
 		e.awake[v]++
 		bs.AwakeRounds++
@@ -130,9 +132,9 @@ func (e *Engine) resolveConflictsLegacy(st *repairState, bs *BatchStats) {
 	}
 }
 
-// electLegacy runs the localized re-election on the induced subgraph of
-// the uncovered region and merges the winners into the set. region is
-// sorted.
+// electLegacy builds the uncovered region's induced subgraph with the
+// legacy map idiom, then runs the shared per-component election/merge
+// (sequential on this path). region is sorted ascending.
 func (e *Engine) electLegacy(region []int32, st *repairState, bs *BatchStats) error {
 	local := make(map[int32]int32, len(region))
 	for i, v := range region {
@@ -146,94 +148,84 @@ func (e *Engine) electLegacy(region []int32, st *repairState, bs *BatchStats) er
 			}
 		}
 	}
-	sub := b.Build()
+	return e.electComponents(b.Build(), region, st, bs)
+}
 
-	var inSub []bool
-	var err error
+// electComponentLegacy elects one non-singleton component on the per-node
+// engines, accumulating into its compRun exactly like the batch path.
+func (e *Engine) electComponentLegacy(sub *graph.Graph, c int, base sim.Config) {
+	cr := &e.comps[c]
+	sg := graph.InducedSubgraph(sub, cr.ids)
+	cfg := compCfg(base, uint64(c))
 	switch e.p.Repair {
 	case RepairGhaffari:
-		inSub, err = e.electGhaffariLegacy(sub, region, bs)
+		cr.err = e.electGhaffariCompLegacy(sg.Graph, cfg, cr)
 	default:
-		inSub, err = e.electLubyLegacy(sub, region, bs)
+		cr.err = e.electLubyCompLegacy(sg.Graph, cfg, cr)
 	}
-	if err != nil {
-		return err
-	}
+}
 
-	for i, in := range inSub {
-		if !in {
-			continue
-		}
-		v := region[i]
-		e.inSet[v] = true
-		bs.Joins++
-		// The joiner notifies its full neighborhood.
-		bs.Messages += int64(len(e.adj[v]))
-		for _, u := range e.adj[v] {
-			st.wake(u)
-		}
+// electLubyCompLegacy runs per-node Luby to completion on the component.
+func (e *Engine) electLubyCompLegacy(g *graph.Graph, cfg sim.Config, cr *compRun) error {
+	inSub, res, err := luby.RunLegacy(g, cfg)
+	if err != nil {
+		return fmt.Errorf("dynamic: re-election: %w", err)
 	}
+	cr.account(res, nil)
+	cr.inSet = inSub
 	return nil
 }
 
-// electLubyLegacy runs per-node Luby to completion on sub.
-func (e *Engine) electLubyLegacy(sub *graph.Graph, region []int32, bs *BatchStats) ([]bool, error) {
-	inSub, res, err := luby.RunLegacy(sub, e.simCfg())
-	if err != nil {
-		return nil, fmt.Errorf("dynamic: re-election: %w", err)
-	}
-	e.accountSim(res, nil, region, bs)
-	return inSub, nil
-}
-
-// electGhaffariLegacy runs the per-node desire-level dynamics for
-// O(log |U|) rounds, retries on stragglers, and finishes any remaining
+// electGhaffariCompLegacy runs the per-node desire-level dynamics for
+// O(log |C|) rounds, retries on stragglers, and finishes any remaining
 // nodes with Luby.
-func (e *Engine) electGhaffariLegacy(sub *graph.Graph, region []int32, bs *BatchStats) ([]bool, error) {
-	inSub := make([]bool, sub.N())
-	cur := sub
-	// orig[i] maps cur's node i to sub's node index.
-	orig := identity32(sub.N())
-	cfg := e.simCfg()
+func (e *Engine) electGhaffariCompLegacy(g *graph.Graph, cfg sim.Config, cr *compRun) error {
+	inSub := make([]bool, g.N())
+	cur := g
+	// orig[i] maps cur's node i to the component node index.
+	orig := identity32(g.N())
 	for attempt := 0; ; attempt++ {
 		if cur.N() == 0 {
-			return inSub, nil
+			cr.inSet = inSub
+			return nil
 		}
 		if attempt >= e.p.MaxRetry {
 			// Luby finisher: always terminates.
 			inFin, res, err := luby.RunLegacy(cur, bump(cfg, uint64(attempt)))
 			if err != nil {
-				return nil, fmt.Errorf("dynamic: finisher: %w", err)
+				return fmt.Errorf("dynamic: finisher: %w", err)
 			}
-			e.accountSim(res, orig, region, bs)
+			cr.account(res, orig)
 			for i, in := range inFin {
 				if in {
 					inSub[orig[i]] = true
 				}
 			}
-			return inSub, nil
+			cr.inSet = inSub
+			return nil
 		}
 		rounds := ghaffariRounds(cur.N())
 		inG, survivors, res, err := ghaffari.RunShatterLegacy(cur, rounds, bump(cfg, uint64(attempt)))
 		if err != nil {
-			return nil, fmt.Errorf("dynamic: ghaffari: %w", err)
+			return fmt.Errorf("dynamic: ghaffari: %w", err)
 		}
-		e.accountSim(res, orig, region, bs)
+		cr.account(res, orig)
 		for i, in := range inG {
 			if in {
 				inSub[orig[i]] = true
 			}
 		}
 		if len(survivors) == 0 {
-			return inSub, nil
+			cr.inSet = inSub
+			return nil
 		}
-		bs.Retries++
+		cr.retries++
 		nextOrig := make([]int32, len(survivors))
 		for i, s := range survivors {
 			nextOrig[i] = orig[s]
 		}
 		next := graph.InducedSubgraph(cur, survivors)
-		// Compose mappings: next's node i is sub's nextOrig[i].
+		// Compose mappings: next's node i is the component's nextOrig[i].
 		cur, orig = next.Graph, nextOrig
 	}
 }

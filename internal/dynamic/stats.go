@@ -9,7 +9,11 @@ type BatchStats struct {
 	Updates int // updates applied in the batch
 	Woken   int // distinct nodes that woke at least once
 	Region  int // size of the re-elected uncovered region
-	Rounds  int // repair rounds (1 detection/probe round + election rounds)
+	// Components counts the connected components the uncovered region
+	// split into — the independent elections of the batch (singletons
+	// included), and the upper bound on repair parallelism.
+	Components int
+	Rounds     int // repair rounds (1 detection/probe round + election rounds)
 
 	AwakeRounds int64 // total node-awake-rounds charged
 	Messages    int64 // CONGEST messages (notifications, probes, election)
@@ -29,6 +33,7 @@ type BatchStats struct {
 func (s *BatchStats) Add(other BatchStats) {
 	s.Updates += other.Updates
 	s.Woken += other.Woken
+	s.Components += other.Components
 	s.Rounds += other.Rounds
 	s.AwakeRounds += other.AwakeRounds
 	s.Messages += other.Messages
@@ -63,6 +68,12 @@ type Stats struct {
 	Evictions   int64
 	Joins       int64
 	MaxRegion   int // largest re-elected region
+
+	// Components counts independent region components across all batches
+	// (the units of repair parallelism); MaxComponents is the largest
+	// single-batch count.
+	Components    int64
+	MaxComponents int
 
 	// Bootstrap cost of the initial static run (set via NoteBootstrap),
 	// kept apart from the repair totals so repair-only accounting (e.g.

@@ -1,0 +1,102 @@
+package dynamic_test
+
+// Worker-count determinism over the benchmark stream shapes. This lives in
+// an external test package because internal/stream imports
+// internal/dynamic. The churn and hub workloads run on clustered graphs
+// (RGG, Barabási–Albert) where uncovered regions reliably split into
+// multi-node components, so Workers 8 genuinely exercises the parallel
+// component executor — including under the race detector.
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/energymis/energymis/internal/dynamic"
+	"github.com/energymis/energymis/internal/graph"
+	"github.com/energymis/energymis/internal/stream"
+	"github.com/energymis/energymis/internal/verify"
+)
+
+// TestWorkersDeterministicAcrossStreams drives the batch path through the
+// three benchmark stream shapes at Workers ∈ {1, 2, 8} and requires
+// byte-identical per-batch BatchStats, final sets, awake ledgers, and
+// lifetime Stats across worker counts.
+func TestWorkersDeterministicAcrossStreams(t *testing.T) {
+	cases := []struct {
+		name  string
+		g     *graph.Graph
+		trace [][]dynamic.Update
+	}{
+		{
+			name: "churn",
+			g:    graph.RGG(400, 12, 7),
+		},
+		{
+			name: "window",
+			g:    graph.GNP(300, 0, 7), // edgeless universe; the stream adds edges
+		},
+		{
+			name: "hub",
+			g:    graph.BarabasiAlbert(300, 4, 7),
+		},
+	}
+	cases[0].trace = stream.UniformChurn(cases[0].g, 50, 16, 17)
+	cases[1].trace = stream.SlidingWindow(300, 40, 120, 17)
+	cases[2].trace = stream.HubAttack(cases[2].g, 30, 17)
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			type runOut struct {
+				perBatch []dynamic.BatchStats
+				inSet    []bool
+				awake    []int64
+				stats    dynamic.Stats
+			}
+			run := func(workers int) runOut {
+				e, err := dynamic.New(tc.g, verify.GreedyMIS(tc.g),
+					dynamic.Params{Seed: 23, Workers: workers, SelfCheck: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				var out runOut
+				for i, batch := range tc.trace {
+					bs, err := e.Apply(batch)
+					if err != nil {
+						t.Fatalf("workers=%d batch %d: %v", workers, i, err)
+					}
+					out.perBatch = append(out.perBatch, bs)
+				}
+				out.inSet = e.InSet()
+				out.awake = e.AwakePerNode()
+				out.stats = e.Stats()
+				return out
+			}
+			base := run(1)
+			if tc.name != "window" && base.stats.MaxComponents < 2 {
+				t.Fatalf("workload never split a region into components (max %d); "+
+					"the parallel path is not exercised", base.stats.MaxComponents)
+			}
+			for _, workers := range []int{2, 8} {
+				got := run(workers)
+				if !reflect.DeepEqual(got.perBatch, base.perBatch) {
+					for i := range base.perBatch {
+						if got.perBatch[i] != base.perBatch[i] {
+							t.Fatalf("workers=%d batch %d diverges:\n w1: %+v\n w%d: %+v",
+								workers, i, base.perBatch[i], workers, got.perBatch[i])
+						}
+					}
+				}
+				if !reflect.DeepEqual(got.inSet, base.inSet) {
+					t.Errorf("workers=%d: final set differs from Workers=1", workers)
+				}
+				if !reflect.DeepEqual(got.awake, base.awake) {
+					t.Errorf("workers=%d: per-node awake ledger differs from Workers=1", workers)
+				}
+				if got.stats != base.stats {
+					t.Errorf("workers=%d: Stats differ:\n w1: %+v\n w%d: %+v",
+						workers, base.stats, workers, got.stats)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,67 @@
+package obs
+
+// Recorder is a Tracer that buffers events in memory for later replay.
+// Concurrent producers (for example the per-component elections of a
+// parallel dynamic repair) each record into their own Recorder, and the
+// merger replays the buffers into the real sink in a deterministic order
+// from a single goroutine — the trace file then never depends on worker
+// interleaving. Replaying into a TraceWriter keeps round sequence numbers
+// contiguous because the writer assigns them at write time.
+//
+// A Recorder is not safe for concurrent use itself; it is the per-worker
+// buffer that makes the fan-in safe.
+type Recorder struct {
+	events []recEvent
+}
+
+type recKind uint8
+
+const (
+	recPhaseStart recKind = iota + 1
+	recRound
+	recPhaseEnd
+)
+
+type recEvent struct {
+	kind  recKind
+	name  string // PhaseStart only
+	round RoundStats
+	phase PhaseStats
+}
+
+// Reset drops all buffered events, keeping capacity.
+func (r *Recorder) Reset() { r.events = r.events[:0] }
+
+// Len returns the number of buffered events.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// PhaseStart implements Tracer.
+func (r *Recorder) PhaseStart(name string) {
+	r.events = append(r.events, recEvent{kind: recPhaseStart, name: name})
+}
+
+// Round implements Tracer.
+func (r *Recorder) Round(rs RoundStats) {
+	r.events = append(r.events, recEvent{kind: recRound, round: rs})
+}
+
+// PhaseEnd implements Tracer.
+func (r *Recorder) PhaseEnd(ps PhaseStats) {
+	r.events = append(r.events, recEvent{kind: recPhaseEnd, phase: ps})
+}
+
+// Replay delivers the buffered events to t in recording order. The buffer
+// is left intact; call Reset to reuse the Recorder.
+func (r *Recorder) Replay(t Tracer) {
+	for i := range r.events {
+		ev := &r.events[i]
+		switch ev.kind {
+		case recPhaseStart:
+			t.PhaseStart(ev.name)
+		case recRound:
+			t.Round(ev.round)
+		case recPhaseEnd:
+			t.PhaseEnd(ev.phase)
+		}
+	}
+}

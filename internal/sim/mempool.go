@@ -1,0 +1,32 @@
+package sim
+
+// MemPool hands out per-worker engine buffer pools. A Mem must never be
+// shared by concurrent runs (see Mem), so a caller that fans work out to
+// k workers needs k distinct Mems; MemPool owns that set for the caller's
+// lifetime, growing it on demand while keeping every warm Mem's buffers
+// across batches.
+//
+// The zero value is ready to use. Ensure and Get grow the pool and are
+// not safe to call concurrently; once Ensure(k) has returned, concurrent
+// callers may each use the Mem a prior Get(i) (i < k) handed them, since
+// handed-out Mems are never moved or replaced.
+type MemPool struct {
+	mems []*Mem
+}
+
+// Ensure grows the pool to at least k Mems.
+func (p *MemPool) Ensure(k int) {
+	for len(p.mems) < k {
+		p.mems = append(p.mems, NewMem())
+	}
+}
+
+// Get returns worker slot i's Mem, growing the pool as needed. The same
+// slot always returns the same Mem.
+func (p *MemPool) Get(i int) *Mem {
+	p.Ensure(i + 1)
+	return p.mems[i]
+}
+
+// Len returns the number of Mems the pool currently holds.
+func (p *MemPool) Len() int { return len(p.mems) }
