@@ -54,7 +54,7 @@ func usage(w io.Writer) {
   mistrace summary [-top k] [-width n] trace.jsonl
   mistrace diff a.jsonl b.jsonl
   mistrace check trace.jsonl...
-  mistrace csv [-o out.csv] trace.jsonl
+  mistrace csv [-o out.csv] [-totals] trace.jsonl
 `)
 }
 
@@ -89,9 +89,15 @@ func cmdSummary(args []string, w io.Writer) error {
 		fmt.Fprintln(w)
 	}
 	tot := s.Total
-	fmt.Fprintf(w, "  totals: rounds=%d maxAwake=%d avgAwake=%.2f awakeTotal=%d msgs=%d dropped=%d bits=%d mis=%d\n\n",
+	fmt.Fprintf(w, "  totals: rounds=%d maxAwake=%d avgAwake=%.2f awakeTotal=%d msgs=%d dropped=%d bits=%d mis=%d\n",
 		tot.Rounds, tot.MaxAwake, tot.AvgAwake, tot.Awake, tot.MsgsSent,
 		tot.MsgsDropped, tot.Bits, tot.MISSize)
+	if tot.Components > 0 || tot.SweepWords > 0 || tot.OverlapWindows > 0 {
+		fmt.Fprintf(w, "  dynamic: components=%d maxComponents=%d sweepWords=%d packBuilds=%d packHits=%d overlapWindows=%d\n",
+			tot.Components, tot.MaxComponents, tot.SweepWords,
+			tot.PackBuilds, tot.PackHits, tot.OverlapWindows)
+	}
+	fmt.Fprintln(w)
 
 	fmt.Fprintf(w, "  %-18s %8s %12s %7s %12s %9s %10s\n",
 		"phase", "rounds", "awake", "awake%", "msgs", "residual", "wall")
@@ -187,6 +193,7 @@ func cmdCheck(args []string, w io.Writer) (failed bool, err error) {
 func cmdCSV(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("csv", flag.ContinueOnError)
 	out := fs.String("o", "", "write CSV to this file instead of stdout")
+	totals := fs.Bool("totals", false, "emit the summary totals as one row (components, sweep and pipeline counters included) instead of the round curve")
 	fs.SetOutput(io.Discard)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -198,18 +205,22 @@ func cmdCSV(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	write := obs.WriteCurveCSV
+	if *totals {
+		write = obs.WriteTotalsCSV
+	}
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
 			return err
 		}
-		if err := obs.WriteCurveCSV(f, t); err != nil {
+		if err := write(f, t); err != nil {
 			f.Close()
 			return err
 		}
 		return f.Close()
 	}
-	return obs.WriteCurveCSV(w, t)
+	return write(w, t)
 }
 
 func min(a, b int) int {

@@ -114,6 +114,40 @@ func TestCSV(t *testing.T) {
 	}
 }
 
+func TestSummaryDynamicLine(t *testing.T) {
+	code, out, errOut := runCmd(t, "summary", "testdata/golden_dyn.jsonl")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	want := "dynamic: components=5 maxComponents=2 sweepWords=120 packBuilds=30 packHits=90 overlapWindows=7"
+	if !strings.Contains(out, want) {
+		t.Errorf("summary output missing %q\n%s", want, out)
+	}
+	// Static traces must not grow the line.
+	if _, out, _ := runCmd(t, "summary", "testdata/golden_a.jsonl"); strings.Contains(out, "dynamic:") {
+		t.Errorf("static summary grew a dynamic line:\n%s", out)
+	}
+}
+
+func TestCSVTotals(t *testing.T) {
+	code, out, errOut := runCmd(t, "csv", "-totals", "testdata/golden_dyn.jsonl")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want header + 1 totals row, got %d lines:\n%s", len(lines), out)
+	}
+	if lines[0] != "rounds,awake_total,max_awake,avg_awake,p99_awake,"+
+		"msgs_sent,msgs_dropped,bits,bits_max,violations,mis_size,"+
+		"components,max_components,sweep_words,pack_builds,pack_hits,overlap_windows" {
+		t.Errorf("bad totals header: %s", lines[0])
+	}
+	if lines[1] != "3,8,3,1.000000,3,16,0,64,32,0,4,5,2,120,30,90,7" {
+		t.Errorf("bad totals row: %s", lines[1])
+	}
+}
+
 func TestBadUsage(t *testing.T) {
 	if code, _, _ := runCmd(t); code != 2 {
 		t.Errorf("no args: want exit 2, got %d", code)

@@ -6,6 +6,8 @@ package main
 //	D2 — repair cost across stream classes (churn, window, hub attack)
 //	D3 — sustained updates/sec vs. the coalescing window, per stream class
 //	D4 — sustained updates/sec vs. repair workers, per coalescing window
+//	D5 — sustained updates/sec vs. graph size, per repair mode
+//	     (legacy per-node, word-packed batch, pipelined windows)
 
 import (
 	"fmt"
@@ -276,6 +278,93 @@ func runD4(c sweepConfig) error {
 	return c.writeCSV("D4.csv",
 		[]string{"n", "updates", "window", "workers", "updates_per_sec",
 			"components_per_batch", "max_components"}, rows)
+}
+
+// D5: sustained update throughput against graph size, per repair mode:
+// the per-node legacy reference, the word-packed batch engine, and the
+// word-packed engine with window pipelining. Uniform churn at window 64 on
+// sparse GNP, n from 10⁴ to 10⁶. The deterministic counters are asserted
+// byte-identical across all three modes — the modes may only move the
+// wall clock. On a single-core host the pipelined row reads as packed
+// plus snapshot/handoff overhead; its win needs a second core.
+func runD5(c sweepConfig) error {
+	reps := c.seeds
+	if reps < 1 {
+		reps = 1
+	}
+	upd := func(n int) int {
+		u := n / 4
+		if u > 51200 {
+			u = 51200
+		}
+		if u < 256 {
+			u = 256
+		}
+		return u
+	}
+	const window = 64
+	modes := []struct {
+		name string
+		opts energymis.DynamicOptions
+	}{
+		{"legacy", energymis.DynamicOptions{Seed: 9, Window: window, Legacy: true}},
+		{"packed", energymis.DynamicOptions{Seed: 9, Window: window}},
+		{"pipelined", energymis.DynamicOptions{Seed: 9, Window: window, Pipeline: true}},
+	}
+	var rows [][]string
+	for _, base := range []int{10000, 100000, 1000000} {
+		n := c.n(base)
+		g := energymis.GNP(n, 8.0/float64(n), uint64(n))
+		flat := energymis.FlattenStream(energymis.ChurnStream(g, upd(n), 1, 6))
+		inSet := energymis.GreedyMIS(g)
+		var baseStats energymis.DynamicStats
+		for mi, mode := range modes {
+			var best float64
+			var st energymis.DynamicStats
+			var perf energymis.DynamicPerf
+			for rep := 0; rep < reps; rep++ {
+				d, err := energymis.NewDynamicFrom(g, inSet, mode.opts)
+				if err != nil {
+					return err
+				}
+				start := time.Now()
+				if _, err := d.ApplyBatch(flat); err != nil {
+					return fmt.Errorf("D5 n=%d %s: %w", n, mode.name, err)
+				}
+				elapsed := time.Since(start).Seconds()
+				if ups := float64(len(flat)) / elapsed; ups > best {
+					best = ups
+				}
+				if rep == 0 {
+					if err := d.Check(); err != nil {
+						return fmt.Errorf("D5 n=%d %s: %w", n, mode.name, err)
+					}
+					st = d.Stats()
+					perf = d.Perf()
+				}
+			}
+			if mi == 0 {
+				baseStats = st
+			} else if st != baseStats {
+				return fmt.Errorf("D5 n=%d: counters diverge between legacy and %s", n, mode.name)
+			}
+			rows = append(rows, []string{
+				i0(n), mode.name, i0(len(flat)), i0(window),
+				fmt.Sprintf("%.0f", best),
+				f2(float64(st.AwakeTotal) / float64(max64(st.Updates, 1))),
+				i0(int(perf.SweepWords)), i0(int(perf.PackBuilds)), i0(int(perf.OverlapWindows)),
+			})
+		}
+	}
+	headers := []string{"n", "mode", "updates", "window", "updates/sec",
+		"awake/update", "sweep words", "pack builds", "overlap windows"}
+	table(headers, rows)
+	fmt.Println()
+	fmt.Println("(uniform churn, wall-clock best of " + i0(reps) + " replays; " +
+		"counters verified byte-identical across the mode axis)")
+	return c.writeCSV("D5.csv",
+		[]string{"n", "mode", "updates", "window", "updates_per_sec",
+			"awake_per_update", "sweep_words", "pack_builds", "overlap_windows"}, rows)
 }
 
 func max64(a, b int64) int64 {

@@ -1,5 +1,5 @@
 // Command sweep regenerates the paper-reproduction experiments (E1–E10),
-// the ablations (A1–A4), the dynamic-MIS experiments (D1–D4), the bench
+// the ablations (A1–A4), the dynamic-MIS experiments (D1–D5), the bench
 // twin (B1), and the unit-disk scenario (G1), printing each as a markdown
 // table (see the registry below for what each one measures).
 //
@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var (
-		expts    = flag.String("e", "all", "comma-separated experiment IDs (E1..E10, A1..A4, D1..D4, B1, G1, all)")
+		expts    = flag.String("e", "all", "comma-separated experiment IDs (E1..E10, A1..A4, D1..D5, B1, G1, all)")
 		seeds    = flag.Int("seeds", 3, "seeds per configuration")
 		scale    = flag.Float64("scale", 1, "instance-size multiplier")
 		traceDir = flag.String("trace", "", "write one JSONL run trace per measured run into this directory (see cmd/mistrace)")
@@ -61,6 +61,7 @@ func main() {
 		{"D2", "Dynamic MIS: repair cost across update-stream classes", runD2},
 		{"D3", "Dynamic MIS: updates/sec vs batch window across stream classes", runD3},
 		{"D4", "Dynamic MIS: updates/sec vs repair workers per batch window", runD4},
+		{"D5", "Dynamic MIS: updates/sec vs graph size per repair mode", runD5},
 		{"B1", "Benchmark harness: quick suites (twin of BENCH_MIS.json)", runB1},
 		{"G1", "Unit-disk sensor field: fixed radius, growing density", runG1},
 	}
@@ -86,7 +87,7 @@ func main() {
 		ran++
 	}
 	if ran == 0 {
-		fmt.Fprintln(os.Stderr, "no experiments matched; use -e all or E1..E10, A1..A4, D1..D4, B1, G1")
+		fmt.Fprintln(os.Stderr, "no experiments matched; use -e all or E1..E10, A1..A4, D1..D5, B1, G1")
 		os.Exit(1)
 	}
 }

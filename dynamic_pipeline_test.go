@@ -1,0 +1,99 @@
+package energymis
+
+// Public-surface acceptance for DynamicOptions.Pipeline: the overlapped
+// ApplyBatch schedule must reproduce the serial windowed schedule exactly
+// (set, energy ledger, lifetime stats, aggregate batch stats), report its
+// overlap in Perf, and stream a trace whose summary carries the dynamic
+// counters and still satisfies the conservation check.
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/energymis/energymis/internal/obs"
+)
+
+func TestDynamicPipelineMatchesSerial(t *testing.T) {
+	g := GNP(500, 12.0/500, 17)
+	updates := FlattenStream(ChurnStream(g, 40, 16, 23))
+
+	run := func(pipeline bool) (*DynamicMIS, BatchStats) {
+		d, err := NewDynamicFrom(g, GreedyMIS(g),
+			DynamicOptions{Seed: 5, Window: 32, Workers: 2, Pipeline: pipeline})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bs, err := d.ApplyBatch(updates)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Check(); err != nil {
+			t.Fatalf("pipeline=%v: %v", pipeline, err)
+		}
+		return d, bs
+	}
+
+	serial, serialBS := run(false)
+	pipe, pipeBS := run(true)
+
+	if pipeBS != serialBS {
+		t.Errorf("aggregate BatchStats diverge:\n serial:    %+v\n pipelined: %+v", serialBS, pipeBS)
+	}
+	if !reflect.DeepEqual(pipe.InSet(), serial.InSet()) {
+		t.Error("final set differs between pipelined and serial ApplyBatch")
+	}
+	if !reflect.DeepEqual(pipe.AwakePerNode(), serial.AwakePerNode()) {
+		t.Error("awake ledger differs between pipelined and serial ApplyBatch")
+	}
+	if pipe.Stats() != serial.Stats() {
+		t.Errorf("Stats diverge:\n serial:    %+v\n pipelined: %+v", serial.Stats(), pipe.Stats())
+	}
+	if perf := pipe.Perf(); perf.OverlapWindows == 0 {
+		t.Error("pipelined run reports zero overlapped windows")
+	} else if perf.SweepWords == 0 || perf.PackBuilds == 0 {
+		t.Errorf("sweep/pack counters not populated: %+v", perf)
+	}
+	if serial.Perf().OverlapWindows != 0 {
+		t.Error("serial run reports overlapped windows")
+	}
+}
+
+func TestDynamicPipelineTraceSummary(t *testing.T) {
+	g := GNP(400, 10.0/400, 11)
+	path := filepath.Join(t.TempDir(), "pipe.jsonl")
+	d, err := NewDynamicFrom(g, GreedyMIS(g),
+		DynamicOptions{Seed: 7, Window: 16, Pipeline: true, TracePath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.ApplyBatch(FlattenStream(ChurnStream(g, 20, 16, 29))); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := obs.ReadTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if problems := obs.CheckTrace(tr); len(problems) > 0 {
+		t.Fatalf("trace conservation problems: %v", problems)
+	}
+	sum := tr.Summary()
+	if sum == nil {
+		t.Fatal("trace has no summary record")
+	}
+	st, perf := d.Stats(), d.Perf()
+	if sum.Components != st.Components || sum.MaxComponents != st.MaxComponents {
+		t.Errorf("summary components %d/%d, engine %d/%d",
+			sum.Components, sum.MaxComponents, st.Components, st.MaxComponents)
+	}
+	if sum.SweepWords != perf.SweepWords || sum.PackBuilds != perf.PackBuilds ||
+		sum.PackHits != perf.PackHits || sum.OverlapWindows != perf.OverlapWindows {
+		t.Errorf("summary perf fields %+v do not match engine perf %+v", sum, perf)
+	}
+	if sum.OverlapWindows == 0 || sum.Components == 0 {
+		t.Errorf("dynamic summary fields not populated: %+v", sum)
+	}
+}

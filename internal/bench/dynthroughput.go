@@ -60,30 +60,40 @@ func dynThroughputSpec(name string, quick bool, setup func() (*energymis.Graph, 
 }
 
 // churnWorkload is the shared setup of the paired batch/legacy cases:
-// identical graph, stream, and knobs, differing only in the repair path
-// and worker count (workers > 1 elects independent region components
-// concurrently; the counters stay byte-identical either way).
-func churnWorkload(n, updates, window, workers int, legacy bool) func() (*energymis.Graph, []energymis.Update, energymis.DynamicOptions) {
+// identical graph, stream, and knobs, differing only in the repair path,
+// worker count (workers > 1 elects independent region components
+// concurrently), and window schedule (pipeline overlaps a window's
+// repair with the next window's structural apply); the counters stay
+// byte-identical across all of them.
+func churnWorkload(n, updates, window, workers int, legacy, pipeline bool) func() (*energymis.Graph, []energymis.Update, energymis.DynamicOptions) {
 	return func() (*energymis.Graph, []energymis.Update, energymis.DynamicOptions) {
 		g := gnpDeg8Graph(n)()
 		flat := energymis.FlattenStream(energymis.ChurnStream(g, updates, 1, 7))
-		return g, flat, energymis.DynamicOptions{Seed: 1, Window: window, Workers: workers, Legacy: legacy}
+		return g, flat, energymis.DynamicOptions{Seed: 1, Window: window, Workers: workers, Legacy: legacy, Pipeline: pipeline}
 	}
 }
 
 func dynThroughputSpecs() []Spec {
 	return []Spec{
 		// The headline pair: batch vs legacy on the identical workload.
-		dynThroughputSpec("churn/n=100000/w=64", true, churnWorkload(100000, 51200, 64, 0, false)),
-		dynThroughputSpec("churn/n=100000/w=64/legacy", true, churnWorkload(100000, 51200, 64, 0, true)),
+		dynThroughputSpec("churn/n=100000/w=64", true, churnWorkload(100000, 51200, 64, 0, false, false)),
+		dynThroughputSpec("churn/n=100000/w=64/legacy", true, churnWorkload(100000, 51200, 64, 0, true, false)),
 		// The parallel-repair path: identical workload and counters, with
 		// the window's region components elected on 8 workers.
-		dynThroughputSpec("churn/n=100000/w=64/workers=8", true, churnWorkload(100000, 51200, 64, 8, false)),
+		dynThroughputSpec("churn/n=100000/w=64/workers=8", true, churnWorkload(100000, 51200, 64, 8, false, false)),
+		// The pipelined schedule on the same workload: window k+1's
+		// structural apply overlaps window k's repair. Quick, so the CI
+		// perf gate exercises the overlap path on every PR.
+		dynThroughputSpec("churn/n=100000/w=64/workers=8/pipeline", true, churnWorkload(100000, 51200, 64, 8, false, true)),
 		// Window ablation endpoints: no coalescing, and the large-graph
 		// target (n=10⁶ at a wide window).
-		dynThroughputSpec("churn/n=100000/w=1", false, churnWorkload(100000, 51200, 1, 0, false)),
-		dynThroughputSpec("churn/n=1000000/w=256", false, churnWorkload(1000000, 131072, 256, 0, false)),
-		dynThroughputSpec("churn/n=1000000/w=256/workers=8", false, churnWorkload(1000000, 131072, 256, 8, false)),
+		dynThroughputSpec("churn/n=100000/w=1", false, churnWorkload(100000, 51200, 1, 0, false, false)),
+		dynThroughputSpec("churn/n=1000000/w=256", false, churnWorkload(1000000, 131072, 256, 0, false, false)),
+		dynThroughputSpec("churn/n=1000000/w=256/workers=8", false, churnWorkload(1000000, 131072, 256, 8, false, false)),
+		// The n=10⁶ pipelined case is quick as well — the gate's large-n
+		// guard against word-sweep or snapshot regressions that only show
+		// at scale.
+		dynThroughputSpec("churn/n=1000000/w=256/workers=8/pipeline", true, churnWorkload(1000000, 131072, 256, 8, false, true)),
 		// Other stream classes: sliding-window arrivals and the
 		// adversarial hub attack.
 		dynThroughputSpec("window/n=50000/w=64", false, func() (*energymis.Graph, []energymis.Update, energymis.DynamicOptions) {

@@ -6,9 +6,10 @@ package dynamic
 // overlapping regions merge, opposing updates cancel — instead of paying a
 // detection round and an election per update.
 type Batcher struct {
-	e       *Engine
-	window  int
-	pending []Update
+	e         *Engine
+	window    int
+	pending   []Update
+	pipelined bool
 }
 
 // NewBatcher wraps e with a coalescing window of the given size. A window
@@ -18,6 +19,23 @@ func NewBatcher(e *Engine, window int) *Batcher {
 		window = 1
 	}
 	return &Batcher{e: e, window: window, pending: make([]Update, 0, window)}
+}
+
+// NewPipelinedBatcher is NewBatcher with window overlap: an Add-triggered
+// flush applies the window's structural changes, seals a row-pack
+// snapshot, and launches the repair on its own goroutine, so the next
+// window's structural apply overlaps it (overlap.go). Sets, counters,
+// and canonical traces are byte-identical to the serial batcher. Because
+// one repair lags in flight, Add/Flush return the stats of the most
+// recently *completed* window — aggregates over a full run match the
+// serial batcher exactly, but a single Add's stats arrive one flush
+// late. Legacy and SelfCheck engines can't overlap (the legacy path has
+// no packed sweeps; SelfCheck reads the full graph between batches), so
+// they degrade to the serial batcher.
+func NewPipelinedBatcher(e *Engine, window int) *Batcher {
+	b := NewBatcher(e, window)
+	b.pipelined = !e.p.Legacy && !e.p.SelfCheck
+	return b
 }
 
 // Window returns the configured window size.
@@ -37,6 +55,10 @@ func (b *Batcher) Add(u Update) (bs BatchStats, flushed bool, err error) {
 	if len(b.pending) < b.window {
 		return BatchStats{}, false, nil
 	}
+	if b.pipelined {
+		bs, err = b.flushPipelined(false)
+		return bs, err == nil, err
+	}
 	bs, err = b.Flush()
 	return bs, err == nil, err
 }
@@ -51,6 +73,9 @@ func (b *Batcher) Add(u Update) (bs BatchStats, flushed bool, err error) {
 // and keeps the remaining suffix buffered for the next Flush. The
 // engine's set is valid either way.
 func (b *Batcher) Flush() (BatchStats, error) {
+	if b.pipelined {
+		return b.flushPipelined(true)
+	}
 	if len(b.pending) == 0 {
 		return BatchStats{}, nil
 	}
@@ -67,9 +92,71 @@ func (b *Batcher) Flush() (BatchStats, error) {
 	return bs, nil
 }
 
+// flushPipelined dispatches the pending window into the overlap pipeline.
+// With final set (an explicit Flush), it also joins the launched repair,
+// so the engine is fully repaired and up to date on return; otherwise the
+// repair stays in flight and overlaps the caller's next window.
+//
+// Error contract, mirroring the serial Flush: a rejected update repairs
+// the applied prefix synchronously, drops the prefix plus the rejected
+// update, and keeps the suffix buffered; a failed repair (engine
+// undefined) drops everything and surfaces the error.
+func (b *Batcher) flushPipelined(final bool) (BatchStats, error) {
+	e := b.e
+	var agg BatchStats
+	if len(b.pending) > 0 {
+		w := e.newWindow()
+		e.applyWindow(w, b.pending)
+		prevBS, joined, prevErr := e.joinInflight()
+		if joined {
+			agg.Add(prevBS)
+		}
+		if prevErr != nil {
+			// Keep the structure and membership consistent with each other
+			// before surfacing the fatal repair error.
+			e.replayJournal(w)
+			b.pending = b.pending[:0]
+			return agg, prevErr
+		}
+		e.replayJournal(w)
+		e.seal(w)
+		if w.applyErr != nil {
+			e.runWindow(w)
+			bs, _, err := e.joinInflight()
+			agg.Add(bs)
+			if err != nil {
+				b.pending = b.pending[:0]
+				return agg, err
+			}
+			drop := w.applied + 1
+			if drop > len(b.pending) {
+				drop = len(b.pending)
+			}
+			b.pending = b.pending[:copy(b.pending, b.pending[drop:])]
+			return agg, w.applyErr
+		}
+		e.launchWindow(w)
+		b.pending = b.pending[:0]
+	}
+	if final {
+		bs, joined, err := e.joinInflight()
+		if joined {
+			agg.Add(bs)
+		}
+		if err != nil {
+			return agg, err
+		}
+	}
+	return agg, nil
+}
+
 // Discard drops the buffered updates without applying them, returning how
-// many were dropped.
+// many were dropped. An in-flight repair is joined first — its window was
+// already applied and cannot be discarded.
 func (b *Batcher) Discard() int {
+	if b.pipelined {
+		b.e.joinInflight()
+	}
 	n := len(b.pending)
 	b.pending = b.pending[:0]
 	return n

@@ -3,7 +3,6 @@ package dynamic
 import (
 	"fmt"
 	"slices"
-	"sort"
 
 	"github.com/energymis/energymis/internal/graph"
 	"github.com/energymis/energymis/internal/obs"
@@ -152,8 +151,9 @@ type Engine struct {
 	aliveCount int
 	edges      int
 
-	inSet []bool
-	awake []int64 // cumulative awake rounds per slot (repair + bootstrap)
+	inSet  []bool
+	inSetW []uint64 // word-packed mirror of inSet (bit v of word v>>6)
+	awake  []int64  // cumulative awake rounds per slot (repair + bootstrap)
 
 	stats   Stats
 	batchNo uint64
@@ -174,7 +174,37 @@ type Engine struct {
 	part  partitioner
 	comps []compRun
 	work  []int32
+
+	// Window-pipelining state (overlap.go): amortized row-pack snapshots
+	// with per-row version stamps (nil until a pipelined batcher enables
+	// them — the serial path pays zero bookkeeping), the double-buffered
+	// windows, and internal performance counters.
+	packs    []rowPack
+	rowVer   []uint32
+	wins     [2]window
+	flip     int
+	inflight *window // window whose repair is running; nil when quiescent
+	perf     Perf
 }
+
+// Perf reports engine-internal performance counters: word-sweep and
+// snapshot-cache effectiveness plus how many windows ran overlapped.
+// Unlike Stats these are not part of the batch-vs-legacy differential
+// contract — the two paths legitimately differ here.
+type Perf struct {
+	// SweepWords counts dirty/woken touched words walked by repair sweeps.
+	SweepWords int64
+	// PackBuilds counts row-pack snapshots (re)built at window seal;
+	// PackHits counts rows whose cached pack was still current.
+	PackBuilds int64
+	PackHits   int64
+	// OverlapWindows counts windows whose repair overlapped the next
+	// window's structural apply.
+	OverlapWindows int64
+}
+
+// Perf returns the engine-internal performance counters.
+func (e *Engine) Perf() Perf { return e.perf }
 
 // New wraps an existing valid MIS of g in a dynamic engine. The inSet
 // slice is copied. Use NoteBootstrap to credit the cost of computing the
@@ -197,6 +227,7 @@ func New(g *graph.Graph, inSet []bool, p Params) (*Engine, error) {
 		aliveCount: n,
 		edges:      g.M(),
 		inSet:      make([]bool, n),
+		inSetW:     make([]uint64, (n+63)>>6),
 		awake:      make([]int64, n),
 	}
 	if !p.Legacy {
@@ -205,12 +236,47 @@ func New(g *graph.Graph, inSet []bool, p Params) (*Engine, error) {
 		e.tracer = p.Tracer
 	}
 	copy(e.inSet, inSet)
+	for v, in := range e.inSet {
+		if in {
+			e.inSetW[v>>6] |= 1 << (uint(v) & 63)
+		}
+	}
+	// One arena allocation backs every initial adjacency row. Rows are
+	// capped at their initial length, so an insert that outgrows a row
+	// reallocates just that row and leaves its arena neighbors intact.
+	arena := make([]int32, 2*g.M())
+	off := 0
 	for v := 0; v < n; v++ {
 		e.alive[v] = true
 		nb := g.Neighbors(v)
-		e.adj[v] = append(make([]int32, 0, len(nb)), nb...)
+		row := arena[off : off+len(nb) : off+len(nb)]
+		copy(row, nb)
+		e.adj[v] = row
+		off += len(nb)
 	}
 	return e, nil
+}
+
+// setMember and clearMember are the only writers of set membership: they
+// keep the bool vector and its word-packed mirror in lockstep, so the
+// repair sweeps can AND whole adjacency words against inSetW.
+func (e *Engine) setMember(v int32) {
+	e.inSet[v] = true
+	e.inSetW[v>>6] |= 1 << (uint32(v) & 63)
+}
+
+func (e *Engine) clearMember(v int32) {
+	e.inSet[v] = false
+	e.inSetW[v>>6] &^= 1 << (uint32(v) & 63)
+}
+
+// growMembership extends inSet/inSetW/awake for one appended node slot.
+func (e *Engine) growMembership() {
+	e.inSet = append(e.inSet, false)
+	e.awake = append(e.awake, 0)
+	if len(e.inSet) > len(e.inSetW)<<6 {
+		e.inSetW = append(e.inSetW, 0)
+	}
 }
 
 // NoteBootstrap credits the cost of the static run that produced the
@@ -393,10 +459,10 @@ func (e *Engine) Apply(batch []Update) (BatchStats, error) {
 	applied := 0
 	var applyErr error
 	for i := range batch {
-		if err := e.applyStructural(&batch[i], rt); err != nil {
+		if err := e.applyStructural(&batch[i], rt, nil); err != nil {
 			// Repair the applied prefix below so the invariant holds even
 			// when the caller passed an invalid update.
-			applyErr = fmt.Errorf("dynamic: update %d (%s): %w", i, batch[i].Op, err)
+			applyErr = applyError(i, &batch[i], err)
 			break
 		}
 		applied++
@@ -414,8 +480,27 @@ func (e *Engine) Apply(batch []Update) (BatchStats, error) {
 		return bs, repairErr
 	}
 
-	// Accumulate even on a failed batch: the prefix's repair did run, and
-	// cumulative stats must stay consistent with AwakePerNode.
+	e.accumulate(&bs, applied)
+
+	if applyErr != nil {
+		return bs, applyErr
+	}
+	if e.p.SelfCheck {
+		if err := e.Check(); err != nil {
+			return bs, err
+		}
+	}
+	return bs, nil
+}
+
+func applyError(i int, up *Update, err error) error {
+	return fmt.Errorf("dynamic: update %d (%s): %w", i, up.Op, err)
+}
+
+// accumulate folds one repaired batch into the lifetime stats. Runs even
+// for a failed batch: the prefix's repair did run, and cumulative stats
+// must stay consistent with AwakePerNode.
+func (e *Engine) accumulate(bs *BatchStats, applied int) {
 	e.stats.Batches++
 	e.stats.Updates += int64(applied)
 	e.stats.Rounds += int64(bs.Rounds)
@@ -441,19 +526,15 @@ func (e *Engine) Apply(batch []Update) (BatchStats, error) {
 		e.stats.MaxComponents = bs.Components
 	}
 	e.batchNo++
-
-	if applyErr != nil {
-		return bs, applyErr
-	}
-	if e.p.SelfCheck {
-		if err := e.Check(); err != nil {
-			return bs, err
-		}
-	}
-	return bs, nil
 }
 
-func (e *Engine) applyStructural(up *Update, st regionTracker) error {
+// applyStructural applies one update's structural changes, marking the
+// affected region in st. With a non-nil window w (the pipelined batcher),
+// every membership read/write — and the region bookkeeping that depends
+// on one — is deferred to w's journal instead, because the previous
+// window's repair still owns the membership arrays (see overlap.go);
+// adjacency mutations additionally bump the row-pack versions.
+func (e *Engine) applyStructural(up *Update, st regionTracker, w *window) error {
 	switch up.Op {
 	case OpInsertEdge, OpRemoveEdge:
 		u, v := up.U, up.V
@@ -480,6 +561,8 @@ func (e *Engine) applyStructural(up *Update, st regionTracker) error {
 			e.adj[v], _ = removeSorted(e.adj[v], int32(u))
 			e.edges--
 		}
+		e.bumpRow(int32(u))
+		e.bumpRow(int32(v))
 		st.wake(int32(u))
 		st.wake(int32(v))
 		st.markDirty(int32(u))
@@ -498,8 +581,11 @@ func (e *Engine) applyStructural(up *Update, st regionTracker) error {
 		}
 		e.adj = append(e.adj, nil)
 		e.alive = append(e.alive, true)
-		e.inSet = append(e.inSet, false)
-		e.awake = append(e.awake, 0)
+		if w == nil {
+			e.growMembership()
+		} else {
+			w.journal = append(w.journal, jentry{op: OpInsertNode, v: id})
+		}
 		e.aliveCount++
 		for _, nb := range up.Neighbors {
 			var added bool
@@ -509,8 +595,10 @@ func (e *Engine) applyStructural(up *Update, st regionTracker) error {
 			}
 			e.adj[nb], _ = insertSorted(e.adj[nb], id)
 			e.edges++
+			e.bumpRow(int32(nb))
 			st.wake(int32(nb))
 		}
+		e.bumpRow(id)
 		st.wake(id)
 		st.markDirty(id)
 	case OpRemoveNode:
@@ -518,23 +606,33 @@ func (e *Engine) applyStructural(up *Update, st regionTracker) error {
 		if !e.Alive(v) {
 			return fmt.Errorf("node %d dead or out of range", v)
 		}
-		wasMember := e.inSet[v]
-		for _, u := range e.adj[v] {
+		row := e.adj[v]
+		wasMember := w == nil && e.inSet[v]
+		for _, u := range row {
 			e.adj[u], _ = removeSorted(e.adj[u], int32(v))
+			e.bumpRow(u)
 			st.wake(u)
 			if wasMember {
 				// u may have lost its only member neighbor.
 				st.markDirty(u)
 			}
 		}
-		e.edges -= len(e.adj[v])
+		e.edges -= len(row)
 		e.adj[v] = nil
+		e.bumpRow(int32(v))
 		e.alive[v] = false
-		e.inSet[v] = false
 		e.aliveCount--
-		// The dead slot must not join the repair region even if an earlier
-		// update in the batch marked it.
-		st.unmark(int32(v))
+		if w == nil {
+			e.clearMember(int32(v))
+			// The dead slot must not join the repair region even if an
+			// earlier update in the batch marked it.
+			st.unmark(int32(v))
+		} else {
+			// The saved row is stable: nothing inserts into a dead node's
+			// row, and other removals edit their neighbors' rows, not this
+			// detached one.
+			w.journal = append(w.journal, jentry{op: OpRemoveNode, v: int32(v), nbrs: row})
+		}
 	default:
 		return fmt.Errorf("unknown op %d", up.Op)
 	}
@@ -550,10 +648,36 @@ func sortedKeys(set map[int32]struct{}) []int32 {
 	return out
 }
 
+// searchInt32 returns the insertion point of x in sorted s: the smallest
+// index i with s[i] >= x. These lookups are the structural-apply hot path
+// (one per edge endpoint per update); rows are short on the sparse churn
+// workloads — average degree single digits — where a branch-predictable
+// linear scan beats binary search, so only long rows binary-search.
+func searchInt32(s []int32, x int32) int {
+	if len(s) <= 32 {
+		for i, v := range s {
+			if v >= x {
+				return i
+			}
+		}
+		return len(s)
+	}
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
 // insertSorted inserts x into sorted slice s, reporting whether it was
 // absent.
 func insertSorted(s []int32, x int32) ([]int32, bool) {
-	i := sort.Search(len(s), func(i int) bool { return s[i] >= x })
+	i := searchInt32(s, x)
 	if i < len(s) && s[i] == x {
 		return s, false
 	}
@@ -566,7 +690,7 @@ func insertSorted(s []int32, x int32) ([]int32, bool) {
 // removeSorted removes x from sorted slice s, reporting whether it was
 // present.
 func removeSorted(s []int32, x int32) ([]int32, bool) {
-	i := sort.Search(len(s), func(i int) bool { return s[i] >= x })
+	i := searchInt32(s, x)
 	if i >= len(s) || s[i] != x {
 		return s, false
 	}
@@ -574,6 +698,6 @@ func removeSorted(s []int32, x int32) ([]int32, bool) {
 }
 
 func containsSorted(s []int32, x int32) bool {
-	i := sort.Search(len(s), func(i int) bool { return s[i] >= x })
+	i := searchInt32(s, x)
 	return i < len(s) && s[i] == x
 }

@@ -1,0 +1,240 @@
+package dynamic
+
+// Window pipelining: the pipelined Batcher (NewPipelinedBatcher) overlaps
+// the structural application of window k+1 with the repair of window k.
+// One repair is in flight at a time, on its own goroutine, and windows
+// join in order, so repairs never overlap each other and every
+// deterministic quantity — sets, counters, canonical traces — is
+// byte-identical to the serial batcher for any worker count.
+//
+// The ownership split while a repair is in flight:
+//
+//	repair k owns   inSet/inSetW, awake, its window's scratch, the
+//	                partitioner/compRuns/memPool, simMsgs, the tracer
+//	apply k+1 owns  adj, alive, aliveCount, edges, rowVer, its own
+//	                window's scratch, and the journal
+//
+// Two mechanisms keep the sides apart. First, repair reads adjacency
+// only through row packs — row snapshots sealed on the main goroutine
+// after the window's structural changes and before launch. A pack is a
+// plain copy of the row (the sweep kernels word-group rows on the fly,
+// so a copy is as sweepable as the original and far cheaper to refresh
+// than a pre-grouped encoding). Packs carry across windows with per-row
+// version stamps (rowVer), so steady-state churn re-snapshots only the
+// rows the window actually mutated. Repair reads rows only of dirty nodes and of dirty members'
+// neighbors (the eviction fan-out; a conflict edge's endpoints are both
+// dirty by the batch-insert argument in repair_legacy.go), so seal
+// captures exactly that closure. Second, the structural side defers
+// every membership read/write — node-removal membership clears and the
+// dirty marks that depend on them, node-insert membership growth — into
+// a journal replayed in update order after the previous repair joins,
+// which is exactly where the serial path would have been when it applied
+// those updates.
+
+// rowPack is a snapshot copy of one adjacency row, valid while ver
+// matches the engine's rowVer entry. The zero value is invalid against
+// any live row (rowVer starts at 1).
+type rowPack struct {
+	row []int32
+	ver uint32
+}
+
+// jentry is one deferred membership operation of a window's journal.
+type jentry struct {
+	op   Op
+	v    int32
+	nbrs []int32 // OpRemoveNode: the removed node's final row (aliased)
+}
+
+// window is one double-buffered pipeline slot: the region scratch its
+// structural apply fills and its repair consumes, the deferred-membership
+// journal, and the repair's result.
+type window struct {
+	scr       scratch
+	journal   []jentry
+	applied   int
+	applyErr  error
+	bs        BatchStats
+	repairErr error
+	done      chan struct{} // closed when an async repair finishes; nil if sync
+}
+
+// bumpRow invalidates v's row pack after an adjacency mutation. A no-op
+// until a pipelined batcher has enabled the pack cache.
+func (e *Engine) bumpRow(v int32) {
+	if e.rowVer == nil {
+		return
+	}
+	for int(v) >= len(e.rowVer) {
+		e.rowVer = append(e.rowVer, 1)
+	}
+	e.rowVer[v]++
+}
+
+// ensurePipeline sizes the pack cache to the current slot count,
+// allocating it on first use so serial engines never pay for it.
+func (e *Engine) ensurePipeline() {
+	n := len(e.adj)
+	if e.rowVer == nil {
+		e.rowVer = make([]uint32, n)
+		for i := range e.rowVer {
+			e.rowVer[i] = 1
+		}
+		e.packs = make([]rowPack, n)
+		return
+	}
+	for len(e.rowVer) < n {
+		e.rowVer = append(e.rowVer, 1)
+	}
+	if len(e.packs) < n {
+		e.packs = append(e.packs, make([]rowPack, n-len(e.packs))...)
+	}
+}
+
+// newWindow returns the idle pipeline slot, reset for a new batch. The
+// other slot may still be repairing; the two alternate, and a slot is
+// always joined before its next reuse.
+func (e *Engine) newWindow() *window {
+	e.ensurePipeline()
+	w := &e.wins[e.flip]
+	e.flip ^= 1
+	w.scr.begin(len(e.adj))
+	w.journal = w.journal[:0]
+	w.applied = 0
+	w.applyErr = nil
+	w.bs = BatchStats{}
+	w.repairErr = nil
+	w.done = nil
+	return w
+}
+
+// applyWindow applies the batch's structural changes into w, journaling
+// the membership-dependent parts. Safe to run while the previous
+// window's repair is in flight. On a rejected update w.applyErr is set
+// and w.applied holds the valid prefix length.
+func (e *Engine) applyWindow(w *window, batch []Update) {
+	for i := range batch {
+		if err := e.applyStructural(&batch[i], &w.scr, w); err != nil {
+			w.applyErr = applyError(i, &batch[i], err)
+			return
+		}
+		w.applied++
+	}
+}
+
+// replayJournal applies w's deferred membership operations in update
+// order. Must run after the previous window's repair has joined (the
+// membership arrays are quiescent) and before w's own repair seals.
+func (e *Engine) replayJournal(w *window) {
+	st := &w.scr
+	for i := range w.journal {
+		j := &w.journal[i]
+		switch j.op {
+		case OpInsertNode:
+			e.growMembership()
+		case OpRemoveNode:
+			if e.inSet[j.v] {
+				e.clearMember(j.v)
+				for _, u := range j.nbrs {
+					// u may have died later in the window; its own entry
+					// unmarks it again, in order, exactly like the serial
+					// path.
+					st.markDirty(u)
+				}
+			}
+			st.unmark(j.v)
+		}
+		j.nbrs = nil // release the aliased row
+	}
+	w.journal = w.journal[:0]
+}
+
+// seal captures everything w's repair needs from apply-owned state: the
+// slot count, the election base config (simCfg reads batchNo and the
+// slot count), and the row packs of every row the repair can read. After
+// seal the repair runs entirely against the scratch and the packs.
+func (e *Engine) seal(w *window) {
+	st := &w.scr
+	st.n = len(e.adj)
+	st.grow(st.n)
+	st.cfg = e.simCfg()
+	st.cfgSet = true
+	e.capturePacks(st)
+	st.packed = true
+}
+
+// capturePacks refreshes the row packs of the repair's read closure:
+// every dirty node, plus the neighbors of dirty members (eviction
+// fan-out rows; the probe then reads those neighbors' own rows, and they
+// are dirty by then — but their packs must exist up front, so the
+// closure is taken here over the sealed membership).
+func (e *Engine) capturePacks(st *scratch) {
+	e.ensurePipeline()
+	st.dirtySnap = st.dirty.AppendAscending(st.dirtySnap[:0])
+	for _, v := range st.dirtySnap {
+		e.ensurePack(v)
+	}
+	st.dirtySnap = st.dirty.AndInto(e.inSetW, st.dirtySnap[:0])
+	for _, v := range st.dirtySnap {
+		for _, u := range e.adj[v] {
+			e.ensurePack(u)
+		}
+	}
+}
+
+// ensurePack rebuilds v's row pack unless the cached one is current.
+func (e *Engine) ensurePack(v int32) {
+	p := &e.packs[v]
+	if p.ver == e.rowVer[v] {
+		e.perf.PackHits++
+		return
+	}
+	p.row = append(p.row[:0], e.adj[v]...)
+	p.ver = e.rowVer[v]
+	e.perf.PackBuilds++
+}
+
+// launchWindow starts w's sealed repair on its own goroutine.
+func (e *Engine) launchWindow(w *window) {
+	w.done = make(chan struct{})
+	e.inflight = w
+	e.perf.OverlapWindows++
+	go func() {
+		w.repairErr = e.repairWindow(w)
+		close(w.done)
+	}()
+}
+
+// runWindow repairs w synchronously (the rejected-update edge path,
+// where the caller needs the result before deciding what to drop).
+func (e *Engine) runWindow(w *window) {
+	w.done = nil
+	e.inflight = w
+	w.repairErr = e.repairWindow(w)
+}
+
+func (e *Engine) repairWindow(w *window) error {
+	w.bs = BatchStats{Updates: w.applied}
+	e.simMsgs = 0
+	return e.repairBatch(&w.scr, &w.bs)
+}
+
+// joinInflight waits for the in-flight repair (if any), folds its stats
+// into the engine totals, and returns them. A failed repair leaves the
+// engine undefined — the same contract as Engine.Apply returning a
+// repair error — and its stats unaccumulated, mirroring the serial path.
+func (e *Engine) joinInflight() (BatchStats, bool, error) {
+	w := e.inflight
+	if w == nil {
+		return BatchStats{}, false, nil
+	}
+	if w.done != nil {
+		<-w.done
+	}
+	e.inflight = nil
+	if w.repairErr != nil {
+		return w.bs, true, w.repairErr
+	}
+	e.accumulate(&w.bs, w.applied)
+	return w.bs, true, nil
+}

@@ -1,0 +1,270 @@
+package dynamic_test
+
+// Differential coverage for the pipelined (double-buffered) batcher: the
+// overlapped path must be byte-identical to the serial batcher — final
+// set, awake ledger, lifetime Stats, aggregate BatchStats, and canonical
+// traces — across the benchmark stream shapes and Workers ∈ {1, 2, 8},
+// including under the race detector. Lives in the external test package
+// because internal/stream imports internal/dynamic.
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/energymis/energymis/internal/dynamic"
+	"github.com/energymis/energymis/internal/graph"
+	"github.com/energymis/energymis/internal/obs"
+	"github.com/energymis/energymis/internal/stream"
+	"github.com/energymis/energymis/internal/verify"
+)
+
+// feed drives every update of trace through b and returns the aggregate
+// of all flushed BatchStats plus a final Flush.
+func feed(t *testing.T, b *dynamic.Batcher, trace [][]dynamic.Update) dynamic.BatchStats {
+	t.Helper()
+	var agg dynamic.BatchStats
+	for _, batch := range trace {
+		for _, u := range batch {
+			bs, _, err := b.Add(u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			agg.Add(bs)
+		}
+	}
+	bs, err := b.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg.Add(bs)
+	return agg
+}
+
+func TestPipelinedBatcherMatchesSerialAcrossStreams(t *testing.T) {
+	cases := []struct {
+		name  string
+		g     *graph.Graph
+		trace [][]dynamic.Update
+	}{
+		{name: "churn", g: graph.RGG(400, 12, 7)},
+		{name: "window", g: graph.GNP(300, 0, 7)},
+		{name: "hub", g: graph.BarabasiAlbert(300, 4, 7)},
+	}
+	cases[0].trace = stream.UniformChurn(cases[0].g, 120, 16, 17)
+	cases[1].trace = stream.SlidingWindow(300, 80, 120, 17)
+	cases[2].trace = stream.HubAttack(cases[2].g, 40, 17)
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			type runOut struct {
+				agg   dynamic.BatchStats
+				inSet []bool
+				awake []int64
+				stats dynamic.Stats
+			}
+			run := func(workers int, pipelined bool) runOut {
+				e, err := dynamic.New(tc.g, verify.GreedyMIS(tc.g),
+					dynamic.Params{Seed: 23, Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				var b *dynamic.Batcher
+				if pipelined {
+					b = dynamic.NewPipelinedBatcher(e, 16)
+				} else {
+					b = dynamic.NewBatcher(e, 16)
+				}
+				out := runOut{agg: feed(t, b, tc.trace)}
+				if pipelined && e.Perf().OverlapWindows == 0 {
+					t.Fatal("pipelined run never overlapped a window")
+				}
+				if err := e.Check(); err != nil {
+					t.Fatalf("workers=%d pipelined=%v: %v", workers, pipelined, err)
+				}
+				out.inSet = e.InSet()
+				out.awake = e.AwakePerNode()
+				out.stats = e.Stats()
+				return out
+			}
+			base := run(1, false)
+			for _, workers := range []int{1, 2, 8} {
+				got := run(workers, true)
+				if got.agg != base.agg {
+					t.Errorf("workers=%d: aggregate stats diverge:\n serial:    %+v\n pipelined: %+v",
+						workers, base.agg, got.agg)
+				}
+				if !reflect.DeepEqual(got.inSet, base.inSet) {
+					t.Errorf("workers=%d: final set differs from serial batcher", workers)
+				}
+				if !reflect.DeepEqual(got.awake, base.awake) {
+					t.Errorf("workers=%d: awake ledger differs from serial batcher", workers)
+				}
+				if got.stats != base.stats {
+					t.Errorf("workers=%d: Stats differ:\n serial:    %+v\n pipelined: %+v",
+						workers, base.stats, got.stats)
+				}
+			}
+		})
+	}
+}
+
+// TestPipelinedTraceByteIdentical holds the overlapped batcher's canonical
+// trace (wall times stripped, header dropped) byte-equal to the serial
+// batcher's: the repair of window k emits its spans before window k+1's
+// repair launches, so overlap must not reorder or change a single event.
+func TestPipelinedTraceByteIdentical(t *testing.T) {
+	g := graph.RGG(400, 12, 7)
+	trace := stream.UniformChurn(g, 120, 16, 17)
+	run := func(pipelined bool) []byte {
+		path := filepath.Join(t.TempDir(), "trace.jsonl")
+		tw, err := obs.CreateTrace(path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := dynamic.New(g, verify.GreedyMIS(g),
+			dynamic.Params{Seed: 23, Workers: 2, Tracer: tw})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b *dynamic.Batcher
+		if pipelined {
+			b = dynamic.NewPipelinedBatcher(e, 16)
+		} else {
+			b = dynamic.NewBatcher(e, 16)
+		}
+		feed(t, b, trace)
+		if err := tw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		tr, err := obs.ReadTraceFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs := obs.Canonical(tr)[:0:0]
+		for _, r := range obs.Canonical(tr) {
+			if r.Type != obs.RecHeader {
+				recs = append(recs, r)
+			}
+		}
+		bts, err := obs.CanonicalBytes(recs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bts
+	}
+	serial := run(false)
+	pipe := run(true)
+	if string(serial) != string(pipe) {
+		t.Error("canonical traces differ between serial and pipelined batchers")
+	}
+}
+
+// TestPipelinedBatcherFlushError pins the overlapped error contract,
+// mirroring the serial TestBatcherFlushError: a rejected update repairs
+// and keeps the applied prefix, drops the prefix plus the rejected
+// update, and leaves the suffix buffered for the next flush.
+func TestPipelinedBatcherFlushError(t *testing.T) {
+	g := graph.Path(6)
+	e, err := dynamic.New(g, verify.GreedyMIS(g), dynamic.Params{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := dynamic.NewPipelinedBatcher(e, 4)
+	// Same window as the serial TestBatcherFlushError: two valid updates,
+	// one rejected (self-loop), one valid suffix.
+	for _, u := range []dynamic.Update{
+		dynamic.DelEdge(0, 1), dynamic.InsEdge(0, 2), dynamic.InsEdge(3, 3),
+	} {
+		if _, flushed, err := b.Add(u); err != nil || flushed {
+			t.Fatalf("buffered Add: flushed=%v err=%v", flushed, err)
+		}
+	}
+	bs, flushed, err := b.Add(dynamic.DelEdge(4, 5))
+	if err == nil {
+		t.Fatal("flush with a rejected update reported success")
+	}
+	if flushed {
+		t.Fatal("flushed=true on a failed flush")
+	}
+	if bs.Updates != 2 {
+		t.Fatalf("failed flush repaired %d updates, want 2 (the valid prefix)", bs.Updates)
+	}
+	if b.Pending() != 1 {
+		t.Fatalf("pending after failed flush = %d, want 1 (suffix)", b.Pending())
+	}
+	if e.HasEdge(0, 1) || !e.HasEdge(0, 2) {
+		t.Fatal("valid prefix not applied")
+	}
+	if !e.HasEdge(4, 5) {
+		t.Fatal("suffix update leaked into the engine")
+	}
+	if err := e.Check(); err != nil {
+		t.Fatalf("engine invalid after failed flush: %v", err)
+	}
+	// The suffix must apply cleanly on the next flush.
+	bs, err = b.Flush()
+	if err != nil || bs.Updates != 1 {
+		t.Fatalf("follow-up flush: bs=%+v err=%v", bs, err)
+	}
+	if e.HasEdge(4, 5) {
+		t.Fatal("suffix update not applied by follow-up flush")
+	}
+	if err := e.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPipelinedNodeChurn exercises the journal paths — node inserts and
+// removals deferred across the overlap boundary, including insert+remove
+// of the same node within one window — against the serial batcher.
+func TestPipelinedNodeChurn(t *testing.T) {
+	g := graph.GNP(120, 0.05, 5)
+	mkTrace := func() [][]dynamic.Update {
+		var tr [][]dynamic.Update
+		// Window-sized batches mixing node ops so journaled entries chain:
+		// insert a node, remove it in the same window (its slot id is the
+		// current slot count at application time), attach an edge to the
+		// second fresh node, and remove long-lived nodes from disjoint
+		// ranges (60.. and 80..) so no update is ever rejected.
+		for i := 0; i < 12; i++ {
+			base := 120 + 2*i
+			tr = append(tr, []dynamic.Update{
+				dynamic.InsNode(i, i+1, i+2), // slot id = base
+				dynamic.DelNode(base),
+				dynamic.InsNode(i + 3), // slot id = base+1
+				dynamic.InsEdge(base+1, 30+i),
+				dynamic.DelNode(60 + i),
+				dynamic.DelNode(80 + i),
+			})
+		}
+		return tr
+	}
+	type runOut struct {
+		inSet []bool
+		awake []int64
+		stats dynamic.Stats
+	}
+	run := func(pipelined bool) runOut {
+		e, err := dynamic.New(g, verify.GreedyMIS(g), dynamic.Params{Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b *dynamic.Batcher
+		if pipelined {
+			b = dynamic.NewPipelinedBatcher(e, 6)
+		} else {
+			b = dynamic.NewBatcher(e, 6)
+		}
+		feed(t, b, mkTrace())
+		if err := e.Check(); err != nil {
+			t.Fatalf("pipelined=%v: %v", pipelined, err)
+		}
+		return runOut{inSet: e.InSet(), awake: e.AwakePerNode(), stats: e.Stats()}
+	}
+	base := run(false)
+	got := run(true)
+	if !reflect.DeepEqual(got, base) {
+		t.Errorf("node-churn state diverges:\n serial:    %+v\n pipelined: %+v", base.stats, got.stats)
+	}
+}

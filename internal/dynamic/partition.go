@@ -35,6 +35,7 @@ type partitioner struct {
 	offs   []int32
 	nodes  []int32
 	cursor []int32
+	rank   []int32 // subgraph-local node -> index within its component
 }
 
 // split partitions sub and returns component c's (subgraph-local) nodes
@@ -79,8 +80,10 @@ func (p *partitioner) split(sub *graph.Graph) (offs, nodes []int32) {
 	}
 	p.offs[k] = run
 	p.nodes = ensureInt32(p.nodes, n)
+	p.rank = ensureInt32(p.rank, n)
 	for v := 0; v < n; v++ {
 		c := p.ord[p.find(int32(v))]
+		p.rank[v] = p.cursor[c] - p.offs[c]
 		p.nodes[p.cursor[c]] = int32(v)
 		p.cursor[c]++
 	}
@@ -132,8 +135,31 @@ type compRun struct {
 	bitsMax                   int
 	retries                   int
 
+	// Reusable CSR buffers for the component's induced subgraph (see
+	// subgraph); owned per component so concurrent elections never share.
+	offs []int32
+	adjb []int32
+
 	rec *obs.Recorder // per-component trace buffer; nil when untraced
 	err error
+}
+
+// subgraph builds the component's induced subgraph from the region
+// subgraph's CSR rows into the compRun's reusable buffers. A connected
+// component is closed under adjacency, so no membership filtering is
+// needed: every neighbor maps through rank to its component-local index,
+// and rows stay ascending because rank is monotone within a component.
+func (cr *compRun) subgraph(sub *graph.Graph, rank []int32) *graph.Graph {
+	cr.offs = cr.offs[:0]
+	cr.adjb = cr.adjb[:0]
+	for _, v := range cr.ids {
+		cr.offs = append(cr.offs, int32(len(cr.adjb)))
+		for _, u := range sub.Neighbors(v) {
+			cr.adjb = append(cr.adjb, rank[u])
+		}
+	}
+	cr.offs = append(cr.offs, int32(len(cr.adjb)))
+	return graph.FromCSR(cr.offs, cr.adjb)
 }
 
 // reset prepares the state for a component of the given size.
@@ -200,7 +226,16 @@ func compCfg(base sim.Config, c uint64) sim.Config {
 func (e *Engine) electComponents(sub *graph.Graph, region []int32, st regionTracker, bs *BatchStats) error {
 	offs, nodes := e.part.split(sub)
 	work := e.prepComps(offs, nodes)
-	base := e.simCfg()
+	var base sim.Config
+	if sc, ok := st.(*scratch); ok && sc.cfgSet {
+		// Overlapped repair: the election config was sealed on the main
+		// goroutine before launch (simCfg reads batchNo and the slot count,
+		// both owned by the structural side while a repair is in flight —
+		// calling simCfg here would race with the next window's apply).
+		base = sc.cfg
+	} else {
+		base = e.simCfg()
+	}
 	switch poolW := min(e.p.Workers, len(work)); {
 	case e.p.Legacy:
 		// The reference path elects sequentially on the per-node engines;
@@ -334,10 +369,16 @@ func (e *Engine) mergeComponents(region []int32, offs, nodes []int32, st regionT
 }
 
 // joinMIS adds v to the maintained set: the joiner notifies its full
-// neighborhood, which wakes for the notification.
+// neighborhood, which wakes for the notification. On the batch path the
+// wake is a word-op row OR (and under packed repair it reads the sealed
+// row snapshot, never e.adj).
 func (e *Engine) joinMIS(v int32, st regionTracker, bs *BatchStats) {
-	e.inSet[v] = true
+	e.setMember(v)
 	bs.Joins++
+	if sc, ok := st.(*scratch); ok {
+		bs.Messages += int64(e.wakeRow(v, sc))
+		return
+	}
 	bs.Messages += int64(len(e.adj[v]))
 	for _, u := range e.adj[v] {
 		st.wake(u)

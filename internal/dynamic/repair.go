@@ -3,6 +3,7 @@ package dynamic
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"github.com/energymis/energymis/internal/bitvec"
 	"github.com/energymis/energymis/internal/ghaffari"
@@ -33,14 +34,24 @@ type scratch struct {
 	woken bitvec.Stamped
 
 	// Election scratch: region membership + local index for the region
-	// subgraph build, the region buffer, and one snapshot buffer per
-	// sweep — sortedDirty and sortedWoken each own theirs, so a call to
-	// one never invalidates the other's return.
+	// subgraph build, the region buffer, one snapshot buffer for the
+	// sweep AND/ANDNOT enumerations, and the region subgraph's reusable
+	// CSR arrays.
 	local     bitvec.Stamped
 	localIdx  []int32
 	dirtySnap []int32
-	wokenSnap []int32
 	region    []int32
+	subOffs   []int32
+	subAdj    []int32
+
+	// Sealed batch state, captured on the main goroutine so an overlapped
+	// repair never reads engine fields the next window's structural apply
+	// owns: the slot count, the election base config, and whether row
+	// reads must go through the engine's row packs instead of e.adj.
+	n      int
+	cfg    sim.Config
+	cfgSet bool
+	packed bool
 }
 
 // begin opens a new batch over n node slots and returns the tracker.
@@ -48,6 +59,9 @@ func (s *scratch) begin(n int) *scratch {
 	s.dirty.Reset()
 	s.woken.Reset()
 	s.grow(n)
+	s.n = 0
+	s.cfgSet = false
+	s.packed = false
 	return s
 }
 
@@ -84,46 +98,34 @@ func (s *scratch) empty() bool {
 	return !s.dirty.Any() && !s.woken.Any()
 }
 
-// sortedDirty snapshots the dirty set, ascending, into its own reusable
-// buffer (valid until the next sortedDirty call).
-func (s *scratch) sortedDirty() []int32 {
-	s.dirtySnap = s.dirty.AppendAscending(s.dirtySnap[:0])
-	return s.dirtySnap
-}
-
-// sortedWoken snapshots the woken set, ascending, into its own reusable
-// buffer (valid until the next sortedWoken call).
-func (s *scratch) sortedWoken() []int32 {
-	s.wokenSnap = s.woken.AppendAscending(s.wokenSnap[:0])
-	return s.wokenSnap
-}
-
 // repairBatch restores the MIS invariant after a batch's structural
 // changes: conflict eviction, coverage probing, then per-component
-// re-elections over the uncovered region.
+// re-elections over the uncovered region. The sweeps are word-packed:
+// dirty/woken frontiers AND/ANDNOT against the engine's membership words
+// and OR whole adjacency rows, instead of testing one neighbor at a time.
 func (e *Engine) repairBatch(st *scratch, bs *BatchStats) error {
 	if st.empty() {
 		return nil // nothing changed (no-op updates only)
 	}
+	if !st.packed {
+		// Serial repair runs after the whole batch has applied; under
+		// window overlap, seal() captured the slot count before launch.
+		st.n = len(e.adj)
+	}
+	st.grow(st.n)
 	e.resolveConflictsBatch(st, bs)
 
-	// Coverage probe: every dirty node broadcasts a probe; member
-	// neighbors answer. Listening neighbors wake for the probe round.
+	// Coverage probe: every dirty non-member broadcasts a probe; member
+	// neighbors answer, and the whole neighborhood wakes — one row-wide
+	// OR into the woken set plus one membership AND per row word. Dirty
+	// nodes are always alive (markDirty only sees live slots and a dying
+	// slot is unmarked), so the sweep needs no alive filter.
 	st.region = st.region[:0]
-	for _, v := range st.sortedDirty() {
-		if !e.alive[v] || e.inSet[v] {
-			continue
-		}
-		bs.Messages += int64(len(e.adj[v])) // probe broadcast
-		covered := false
-		for _, u := range e.adj[v] {
-			st.wake(u)
-			if e.inSet[u] {
-				covered = true
-				bs.Messages++ // member's reply
-			}
-		}
-		if !covered {
+	st.dirtySnap = st.dirty.AndNotInto(e.inSetW, st.dirtySnap[:0])
+	for _, v := range st.dirtySnap {
+		deg, replies := e.probeRow(v, st)
+		bs.Messages += int64(deg + replies) // probe broadcast + member replies
+		if replies == 0 {
 			st.region = append(st.region, v)
 		}
 	}
@@ -138,13 +140,23 @@ func (e *Engine) repairBatch(st *scratch, bs *BatchStats) error {
 
 	// Charge the detection/probe round last, over the final woken set, so
 	// every node reported in Woken is also charged at least one awake
-	// round (election awake rounds were folded by mergeComponents).
-	woken := st.sortedWoken()
-	for _, v := range woken {
-		e.awake[v]++
-		bs.AwakeRounds++
+	// round (election awake rounds were folded by mergeComponents). The
+	// fold is an order-insensitive sum, so it walks the touched words
+	// directly — no snapshot, no sort.
+	woken := 0
+	tw := st.woken.TouchedWords()
+	for _, w := range tw {
+		x := st.woken.Word(w)
+		woken += bits.OnesCount64(x)
+		base := w << 6
+		for x != 0 {
+			e.awake[base+int32(bits.TrailingZeros64(x))]++
+			x &= x - 1
+		}
 	}
-	bs.Woken = len(woken)
+	bs.AwakeRounds += int64(woken)
+	bs.Woken = woken
+	e.perf.SweepWords += int64(len(st.dirty.TouchedWords()) + len(tw))
 
 	// The detection/probe round as a synthetic one-round span, carrying
 	// the analytic messages (notifications, probes, replies — everything
@@ -163,65 +175,123 @@ func (e *Engine) repairBatch(st *scratch, bs *BatchStats) error {
 }
 
 // resolveConflictsBatch evicts members until no edge has two member
-// endpoints; same sweep and tie-breaks as the legacy path (see the
-// exhaustiveness argument there). The sweep iterates a snapshot while
-// evictions mark more nodes dirty — safe, since each sweep owns its
-// snapshot buffer.
+// endpoints; same visit order and tie-breaks as the legacy path (see the
+// exhaustiveness argument there). The sweep enumerates dirty ∧ members
+// in one word-AND pass: dirty nodes that were not members at sweep start
+// get zero inner iterations on the legacy path too, and eviction only
+// removes members, so skipping them up front changes nothing.
 func (e *Engine) resolveConflictsBatch(st *scratch, bs *BatchStats) {
-	evict := func(m int32) {
-		e.inSet[m] = false
-		bs.Evictions++
-		// The leaver notifies its neighborhood; everyone there must
-		// re-check coverage.
-		bs.Messages += int64(len(e.adj[m]))
-		st.wake(m)
-		st.markDirty(m)
-		for _, u := range e.adj[m] {
-			st.wake(u)
-			st.markDirty(u)
-		}
-	}
-	for _, v := range st.sortedDirty() {
-		for e.alive[v] && e.inSet[v] {
-			conflict := int32(-1)
-			for _, u := range e.adj[v] {
-				if e.inSet[u] {
-					conflict = u
-					break
-				}
-			}
+	st.dirtySnap = st.dirty.AndInto(e.inSetW, st.dirtySnap[:0])
+	for _, v := range st.dirtySnap {
+		for e.inSet[v] {
+			conflict := e.firstMemberNbr(v, st)
 			if conflict < 0 {
 				break
 			}
 			loser := v
-			du, dv := len(e.adj[conflict]), len(e.adj[v])
+			du, dv := e.rowDeg(conflict, st), e.rowDeg(v, st)
 			if du < dv || (du == dv && conflict > v) {
 				loser = conflict
 			}
-			evict(loser)
+			// Evict: the leaver notifies its neighborhood; everyone there
+			// must re-check coverage.
+			e.clearMember(loser)
+			bs.Evictions++
+			bs.Messages += int64(e.wakeDirtyRow(loser, st))
+			st.wake(loser)
+			st.markDirty(loser)
 		}
 	}
 }
 
-// electBatch builds the uncovered region's induced subgraph (region
-// membership tested by bit vector) and hands it to the component
-// partition/election/merge machinery. region is sorted ascending.
+// Row accessors for the repair sweeps. Under packed repair (window
+// overlap) the engine's adjacency is being mutated by the next window's
+// structural apply on the main goroutine, so every row read goes through
+// the row-pack snapshots sealed before launch; serial repair reads e.adj
+// directly. A pack is a copy of the row, so the two modes are bit-for-bit
+// interchangeable.
+
+// row returns v's adjacency as of the repair's sealed view.
+func (e *Engine) row(v int32, st *scratch) []int32 {
+	if st.packed {
+		return e.packs[v].row
+	}
+	return e.adj[v]
+}
+
+func (e *Engine) rowDeg(v int32, st *scratch) int {
+	return len(e.row(v, st))
+}
+
+// firstMemberNbr returns v's smallest member neighbor, or -1.
+func (e *Engine) firstMemberNbr(v int32, st *scratch) int32 {
+	return bitvec.FirstAndRow(e.inSetW, e.row(v, st))
+}
+
+// probeRow wakes v's whole neighborhood and returns (degree, member
+// replies) — the coverage probe of one dirty non-member, as one fused
+// word-grouped pass over the row.
+func (e *Engine) probeRow(v int32, st *scratch) (deg, replies int) {
+	row := e.row(v, st)
+	return len(row), st.woken.OrRowCount(row, e.inSetW)
+}
+
+// wakeRow wakes v's neighborhood and returns its degree (the join/leave
+// notification fan-out).
+func (e *Engine) wakeRow(v int32, st *scratch) int {
+	row := e.row(v, st)
+	st.woken.OrRow(row)
+	return len(row)
+}
+
+// wakeDirtyRow wakes and dirties v's neighborhood (the eviction fan-out).
+func (e *Engine) wakeDirtyRow(v int32, st *scratch) int {
+	row := e.row(v, st)
+	st.woken.OrRow(row)
+	st.dirty.OrRow(row)
+	return len(row)
+}
+
+// electBatch builds the uncovered region's induced subgraph straight
+// into reusable CSR buffers (region membership tested word-at-a-time
+// against the local bit vector) and hands it to the component
+// partition/election/merge machinery. region is sorted ascending, so the
+// emitted local rows are ascending too and FromCSR can trust them.
 func (e *Engine) electBatch(region []int32, st *scratch, bs *BatchStats) error {
-	st.grow(len(e.adj))
 	st.local.Reset()
 	for i, v := range region {
 		st.local.Set(v)
 		st.localIdx[v] = int32(i)
 	}
-	b := graph.NewBuilder(len(region))
-	for i, v := range region {
-		for _, u := range e.adj[v] {
-			if st.local.Has(u) && int32(i) < st.localIdx[u] {
-				b.AddEdge(i, int(st.localIdx[u]))
-			}
+	st.subOffs = st.subOffs[:0]
+	st.subAdj = st.subAdj[:0]
+	for _, v := range region {
+		st.subOffs = append(st.subOffs, int32(len(st.subAdj)))
+		st.subAdj = e.appendRegionNbrs(v, st, st.subAdj)
+	}
+	st.subOffs = append(st.subOffs, int32(len(st.subAdj)))
+	return e.electComponents(graph.FromCSR(st.subOffs, st.subAdj), region, st, bs)
+}
+
+// appendRegionNbrs appends the region-local indices of v's in-region
+// neighbors to dst, ascending: each row word ANDs against the region
+// membership word and surviving bits map through localIdx.
+func (e *Engine) appendRegionNbrs(v int32, st *scratch, dst []int32) []int32 {
+	row := e.row(v, st)
+	for i := 0; i < len(row); {
+		w := row[i] >> 6
+		var m uint64
+		for ; i < len(row) && row[i]>>6 == w; i++ {
+			m |= 1 << (uint32(row[i]) & 63)
+		}
+		x := m & st.local.Word(w)
+		base := w << 6
+		for x != 0 {
+			dst = append(dst, st.localIdx[base+int32(bits.TrailingZeros64(x))])
+			x &= x - 1
 		}
 	}
-	return e.electComponents(b.Build(), region, st, bs)
+	return dst
 }
 
 // electComponent elects one non-singleton component on the batch engines:
@@ -231,14 +301,14 @@ func (e *Engine) electBatch(region []int32, st *scratch, bs *BatchStats) error {
 // events buffer in the component's Recorder for ordered replay at merge.
 func (e *Engine) electComponent(sub *graph.Graph, c int, base sim.Config, mem *sim.Mem, workers int) {
 	cr := &e.comps[c]
-	sg := graph.InducedSubgraph(sub, cr.ids)
+	sg := cr.subgraph(sub, e.part.rank)
 	cfg := compCfg(base, uint64(c))
 	cfg.Mem = mem
 	cfg.Workers = workers
 	if cr.rec != nil {
 		cfg.Tracer = cr.rec
 	}
-	pl := pipeline.New(sg.Graph, cfg)
+	pl := pipeline.New(sg, cfg)
 	var err error
 	switch e.p.Repair {
 	case RepairGhaffari:

@@ -98,7 +98,7 @@ func (e *Engine) repairLegacy(st *repairState, bs *BatchStats) error {
 // uncovers fewer nodes: lower degree, ties toward the higher ID.
 func (e *Engine) resolveConflictsLegacy(st *repairState, bs *BatchStats) {
 	evict := func(m int32) {
-		e.inSet[m] = false
+		e.clearMember(m)
 		bs.Evictions++
 		// The leaver notifies its neighborhood; everyone there must
 		// re-check coverage.

@@ -184,6 +184,17 @@ func (b *Builder) Build() *Graph {
 	return g
 }
 
+// FromCSR wraps prebuilt CSR arrays as a Graph without copying or
+// validating: offsets must have length n+1 with offsets[0] == 0, rows
+// must be sorted ascending with no self-loops or duplicates, and the
+// arc list must be symmetric (so M() == len(adj)/2 holds). The slices
+// are aliased — the caller must not mutate them while the graph is in
+// use. This is the zero-allocation constructor for callers that already
+// maintain CSR invariants themselves (the dynamic repair scratch).
+func FromCSR(offsets, adj []int32) *Graph {
+	return &Graph{offsets: offsets, adj: adj}
+}
+
 // FromEdges builds a graph on n nodes from an explicit edge list.
 func FromEdges(n int, edges [][2]int) *Graph {
 	b := NewBuilder(n)

@@ -246,6 +246,29 @@ func WriteCurveCSV(w io.Writer, t *Trace) error {
 	return nil
 }
 
+// WriteTotalsCSV emits the trace's summary record as a one-row CSV — the
+// machine-readable counterpart of `mistrace summary`'s totals line,
+// including the dynamic-run columns (components, sweep words, pack and
+// overlap counters), which are zero for static traces.
+func WriteTotalsCSV(w io.Writer, t *Trace) error {
+	s := Summarize(t)
+	tot := s.Total
+	if tot.Type == "" {
+		return fmt.Errorf("obs: trace has no summary record")
+	}
+	if _, err := fmt.Fprintln(w, "rounds,awake_total,max_awake,avg_awake,p99_awake,"+
+		"msgs_sent,msgs_dropped,bits,bits_max,violations,mis_size,"+
+		"components,max_components,sweep_words,pack_builds,pack_hits,overlap_windows"); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%d,%d,%d,%.6f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+		tot.Rounds, tot.Awake, tot.MaxAwake, tot.AvgAwake, tot.P99Awake,
+		tot.MsgsSent, tot.MsgsDropped, tot.Bits, tot.BitsMax, tot.Violations,
+		tot.MISSize, tot.Components, tot.MaxComponents, tot.SweepWords,
+		tot.PackBuilds, tot.PackHits, tot.OverlapWindows)
+	return err
+}
+
 var sparkLevels = []rune("▁▂▃▄▅▆▇█")
 
 // Sparkline renders the awake-vs-round curve as a fixed-width text

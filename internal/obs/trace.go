@@ -76,7 +76,18 @@ type Record struct {
 	P99Awake    int     `json:"p99_awake,omitempty"`
 	BitsMax     int     `json:"bits_max,omitempty"`
 	MISSize     int     `json:"mis_size,omitempty"`
-	WallNS      int64   `json:"wall_ns,omitempty"`
+
+	// Dynamic-repair summary fields (energymis.DynamicMIS.Close): repair
+	// region component counts, and the batch engine's word-sweep and
+	// window-pipeline counters. Zero (and omitted) for static runs.
+	Components     int64 `json:"components,omitempty"`
+	MaxComponents  int   `json:"max_components,omitempty"`
+	SweepWords     int64 `json:"sweep_words,omitempty"`
+	PackBuilds     int64 `json:"pack_builds,omitempty"`
+	PackHits       int64 `json:"pack_hits,omitempty"`
+	OverlapWindows int64 `json:"overlap_windows,omitempty"`
+
+	WallNS int64 `json:"wall_ns,omitempty"`
 }
 
 var (
@@ -187,6 +198,9 @@ func (t *TraceWriter) Summary(s SummaryStats) {
 		MaxAwake: s.MaxAwake, AvgAwake: s.AvgAwake, P99Awake: s.P99Awake,
 		MsgsSent: s.MsgsSent, MsgsDropped: s.MsgsDropped, Bits: s.BitsTotal,
 		BitsMax: s.BitsMax, Violations: s.Violations, MISSize: s.MISSize,
+		Components: s.Components, MaxComponents: s.MaxComponents,
+		SweepWords: s.SweepWords, PackBuilds: s.PackBuilds,
+		PackHits: s.PackHits, OverlapWindows: s.OverlapWindows,
 		WallNS: time.Since(t.start).Nanoseconds(),
 	})
 }
