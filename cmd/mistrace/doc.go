@@ -7,6 +7,7 @@
 //	mistrace diff a.jsonl b.jsonl
 //	mistrace check trace.jsonl...
 //	mistrace csv [-o out.csv] trace.jsonl
+//	mistrace fit [-compare TWIN_MIS.json] [-out TWIN_MIS.json] [-csv residuals.csv]
 //
 // summary prints the run metadata, the totals from the closing summary
 // record, a per-phase table (rounds, awake node-rounds and their share,
@@ -24,4 +25,11 @@
 // lists every violation if a trace fails.
 //
 // csv emits the awake-vs-round curve as CSV for plotting.
+//
+// fit is the analytical-twin gate (internal/twin, docs/TWIN.md): it runs
+// the deterministic multi-size sweep, fits the constants of the paper's
+// closed-form complexity curves by least squares, and — with -compare —
+// evaluates the fit against the committed TWIN_MIS.json, exiting 1 when
+// a measured curve leaves its tolerance band. -out regenerates the
+// baseline; -csv writes the residual table for the CI artifact.
 package main

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/energymis/energymis/internal/twin"
+)
+
+// cmdFit re-fits the analytical twin from fresh deterministic runs and,
+// with -compare, evaluates the fit against the committed TWIN_MIS.json
+// (the CI twin-fitness gate). Unlike the other subcommands it runs
+// simulations instead of reading traces: the twin's input is the measured
+// curve itself. Returns failed=true when a curve leaves its band.
+func cmdFit(args []string, stdout, stderr io.Writer) (failed bool, err error) {
+	fs := flag.NewFlagSet("fit", flag.ContinueOnError)
+	compare := fs.String("compare", "", "committed baseline to evaluate against; out-of-band curves fail the run")
+	out := fs.String("out", "", "write the fitted baseline JSON to this path (regenerates TWIN_MIS.json)")
+	csvPath := fs.String("csv", "", "write the residual table as CSV to this path (the CI artifact)")
+	seeds := fs.Int("seeds", 0, "seeds per size (default: the baseline's, or 2)")
+	scale := fs.Float64("scale", 1, "sweep-size multiplier (ignored with -compare: the baseline's sweep is authoritative)")
+	family := fs.String("family", "", "graph family gnp|udg|ba|grid (default: the baseline's, or gnp)")
+	quiet := fs.Bool("q", false, "suppress per-run progress output")
+	fs.SetOutput(io.Discard)
+	if err := fs.Parse(args); err != nil {
+		return false, err
+	}
+	if fs.NArg() != 0 {
+		return false, fmt.Errorf("fit takes no positional arguments (use -compare/-out)")
+	}
+
+	spec := twin.DefaultSpec()
+	var base *twin.Baseline
+	if *compare != "" {
+		// The baseline's sweep spec is authoritative: constants fitted at
+		// different sizes would differ by pre-asymptotic terms, not drift.
+		base, err = twin.ReadBaseline(*compare)
+		if err != nil {
+			return false, err
+		}
+		spec = base.Sweep
+	} else {
+		if *family != "" {
+			spec.Family = *family
+		}
+		if *seeds > 0 {
+			spec.Seeds = *seeds
+		}
+		if *scale != 1 {
+			spec = spec.Scale(*scale)
+		}
+	}
+
+	progress := func(line string) { fmt.Fprintln(stderr, line) }
+	if *quiet {
+		progress = nil
+	}
+	cur, err := twin.CollectAndFit(spec, progress)
+	if err != nil {
+		return false, err
+	}
+	if *out != "" {
+		if err := twin.WriteBaseline(*out, cur); err != nil {
+			return false, err
+		}
+		fmt.Fprintf(stderr, "wrote %s (%d models)\n", *out, len(cur.Entries))
+	}
+
+	if base == nil {
+		// No baseline: print the fit itself (evaluating against itself
+		// renders the same residual table with zero drift).
+		ev, err := twin.Evaluate(cur, cur)
+		if err != nil {
+			return false, err
+		}
+		ev.Format(stdout)
+		return false, writeFitCSV(*csvPath, ev, stderr)
+	}
+	ev, err := twin.Evaluate(base, cur)
+	if err != nil {
+		return false, err
+	}
+	ev.Format(stdout)
+	if err := writeFitCSV(*csvPath, ev, stderr); err != nil {
+		return false, err
+	}
+	return ev.OutOfBand(), nil
+}
+
+func writeFitCSV(path string, ev *twin.Evaluation, stderr io.Writer) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := ev.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "wrote %s\n", path)
+	return nil
+}

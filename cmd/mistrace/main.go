@@ -34,6 +34,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	case "csv":
 		err = cmdCSV(args[1:], stdout)
+	case "fit":
+		var failed bool
+		failed, err = cmdFit(args[1:], stdout, stderr)
+		if err == nil && failed {
+			return 1
+		}
 	case "-h", "-help", "--help", "help":
 		usage(stdout)
 		return 0
@@ -55,6 +61,7 @@ func usage(w io.Writer) {
   mistrace diff a.jsonl b.jsonl
   mistrace check trace.jsonl...
   mistrace csv [-o out.csv] [-totals] trace.jsonl
+  mistrace fit [-compare TWIN_MIS.json] [-out TWIN_MIS.json] [-csv residuals.csv]
 `)
 }
 

@@ -148,6 +148,41 @@ func TestCSVTotals(t *testing.T) {
 	}
 }
 
+// TestPipelineGolden pins the pipeline-mode trace end to end: the meta
+// line reports the mode, the dynamic summary line carries the overlap
+// counters, csv -totals emits them, and the trace is internally
+// consistent under check.
+func TestPipelineGolden(t *testing.T) {
+	code, out, errOut := runCmd(t, "summary", "testdata/golden_pipeline.jsonl")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	for _, want := range []string{
+		"mode=pipeline",
+		"dynamic: components=6 maxComponents=3 sweepWords=160 packBuilds=12 packHits=148 overlapWindows=3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary output missing %q\n%s", want, out)
+		}
+	}
+
+	code, out, errOut = runCmd(t, "csv", "-totals", "testdata/golden_pipeline.jsonl")
+	if code != 0 {
+		t.Fatalf("csv -totals exit %d, stderr: %s", code, errOut)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want header + 1 totals row, got %d lines:\n%s", len(lines), out)
+	}
+	if lines[1] != "5,12,3,1.500000,3,24,0,96,32,0,3,6,3,160,12,148,3" {
+		t.Errorf("bad totals row: %s", lines[1])
+	}
+
+	if code, out, _ := runCmd(t, "check", "testdata/golden_pipeline.jsonl"); code != 0 {
+		t.Errorf("check rejects the pipeline golden trace:\n%s", out)
+	}
+}
+
 func TestBadUsage(t *testing.T) {
 	if code, _, _ := runCmd(t); code != 2 {
 		t.Errorf("no args: want exit 2, got %d", code)

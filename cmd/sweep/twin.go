@@ -1,0 +1,53 @@
+package main
+
+import (
+	"fmt"
+
+	"github.com/energymis/energymis/internal/twin"
+)
+
+// F1: the analytical-twin fit — every metric vs n per algorithm on the
+// default sweep, with the least-squares constant, R², and worst relative
+// residual per declared closed form. The committed TWIN_MIS.json is this
+// experiment at scale 1 (`mistrace fit -out TWIN_MIS.json`); the CSV has
+// one row per measured point with its model prediction, ready to plot
+// measured-vs-predicted curves.
+func runF1(c sweepConfig) error {
+	spec := twin.DefaultSpec()
+	spec.Seeds = c.seeds
+	if c.scale != 1 {
+		spec = spec.Scale(c.scale)
+	}
+	base, err := twin.CollectAndFit(spec, nil)
+	if err != nil {
+		return err
+	}
+
+	var rows [][]string
+	csvRows := [][]string{}
+	for i := range base.Entries {
+		e := &base.Entries[i]
+		r2 := "—"
+		if e.R2OK {
+			r2 = f2(e.R2)
+		}
+		rows = append(rows, []string{
+			e.Algorithm, string(e.Metric), e.Shape.String(),
+			fmt.Sprintf("%.3f", e.Constant), r2, f2(e.MaxRelResidual),
+		})
+		for _, p := range e.Points {
+			pred := e.Predict(p.N)
+			csvRows = append(csvRows, []string{
+				e.Algorithm, string(e.Metric), string(e.Shape), i0(p.N),
+				fmt.Sprintf("%g", p.Value), fmt.Sprintf("%.3f", pred),
+				fmt.Sprintf("%.4f", (p.Value-pred)/pred),
+			})
+		}
+	}
+	table([]string{"algorithm", "metric", "shape", "fitted c", "R²", "max resid"}, rows)
+	fmt.Println()
+	fmt.Printf("(sweep: %s avgdeg=%g sizes=%v seeds=%d; `mistrace fit -compare TWIN_MIS.json` gates these curves in CI)\n",
+		spec.Family, spec.AvgDeg, spec.Sizes, spec.Seeds)
+	return c.writeCSV("F1.csv",
+		[]string{"algorithm", "metric", "shape", "n", "measured", "predicted", "rel_residual"}, csvRows)
+}

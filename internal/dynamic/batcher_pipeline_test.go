@@ -1,0 +1,131 @@
+package dynamic
+
+// Pipelined-batcher contract tests. TestBatcherFlushError pins the serial
+// error path; these pin the same guarantees on the overlapped path
+// (NewPipelinedBatcher on a non-Legacy, non-SelfCheck engine), where the
+// failing window's prefix repair runs synchronously and Discard has an
+// in-flight repair to join first.
+
+import (
+	"testing"
+
+	"github.com/energymis/energymis/internal/graph"
+	"github.com/energymis/energymis/internal/verify"
+)
+
+func newPipelined(t *testing.T, window int) (*Engine, *Batcher) {
+	t.Helper()
+	g := graph.Path(6)
+	e, err := New(g, verify.GreedyMIS(g), Params{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewPipelinedBatcher(e, window)
+	if !b.pipelined {
+		t.Fatal("batcher degraded to the serial path; the pipelined contract is untested")
+	}
+	return e, b
+}
+
+// TestPipelinedBatcherFlushError mirrors TestBatcherFlushError on the
+// overlapped path: the rejected update's window repairs its applied prefix
+// synchronously, drops prefix + rejected update, and keeps the un-applied
+// suffix pending for the next Flush.
+func TestPipelinedBatcherFlushError(t *testing.T) {
+	e, b := newPipelined(t, 4)
+	for _, up := range []Update{DelEdge(0, 1), InsEdge(0, 2)} {
+		if _, flushed, err := b.Add(up); err != nil || flushed {
+			t.Fatalf("buffered Add: flushed=%v err=%v", flushed, err)
+		}
+	}
+	// Third update invalid (self-loop), fourth fine: the window fills on
+	// the fourth Add and the flush sees 2 applied, 1 rejected, 1 un-applied.
+	if _, flushed, err := b.Add(InsEdge(3, 3)); err != nil || flushed {
+		t.Fatalf("buffered bad Add: flushed=%v err=%v", flushed, err)
+	}
+	bs, flushed, err := b.Add(DelEdge(4, 5))
+	if err == nil {
+		t.Fatal("flush with invalid update succeeded")
+	}
+	if flushed {
+		t.Fatal("failed flush reported flushed=true")
+	}
+	if bs.Updates != 2 {
+		t.Fatalf("failed flush applied %d updates, want 2 (the valid prefix)", bs.Updates)
+	}
+	if b.Pending() != 1 {
+		t.Fatalf("pending after failed flush = %d, want the 1 un-applied suffix update", b.Pending())
+	}
+	if e.HasEdge(0, 1) || !e.HasEdge(0, 2) {
+		t.Fatal("valid prefix not applied")
+	}
+	if !e.HasEdge(4, 5) {
+		t.Fatal("suffix update leaked into the engine")
+	}
+	if err := e.Check(); err != nil {
+		t.Fatalf("invariant after failed flush: %v", err)
+	}
+	// The suffix is still live: the next Flush applies and repairs it,
+	// joining before returning (the explicit-Flush contract).
+	bs, err = b.Flush()
+	if err != nil || bs.Updates != 1 {
+		t.Fatalf("follow-up flush: bs=%+v err=%v", bs, err)
+	}
+	if e.HasEdge(4, 5) {
+		t.Fatal("suffix update not applied by follow-up flush")
+	}
+	if b.Pending() != 0 {
+		t.Fatalf("pending after follow-up flush = %d", b.Pending())
+	}
+	if err := e.Check(); err != nil {
+		t.Fatalf("invariant after follow-up flush: %v", err)
+	}
+}
+
+// TestPipelinedBatcherDiscard pins Discard's in-flight semantics: the
+// window launched by the last Add-triggered flush was already applied, so
+// Discard joins its repair (it cannot be un-applied) and drops only the
+// still-buffered updates.
+func TestPipelinedBatcherDiscard(t *testing.T) {
+	e, b := newPipelined(t, 2)
+	// Fill the window: this flush launches an async repair that is still
+	// in flight when Discard runs.
+	if _, _, err := b.Add(DelEdge(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, flushed, err := b.Add(InsEdge(0, 2)); err != nil || !flushed {
+		t.Fatalf("window-filling Add: flushed=%v err=%v", flushed, err)
+	}
+	// Buffer one more; it must be dropped, not applied.
+	if _, flushed, err := b.Add(InsEdge(3, 5)); err != nil || flushed {
+		t.Fatalf("buffered Add: flushed=%v err=%v", flushed, err)
+	}
+	if n := b.Discard(); n != 1 {
+		t.Fatalf("Discard dropped %d, want 1", n)
+	}
+	if b.Pending() != 0 {
+		t.Fatalf("pending after Discard = %d", b.Pending())
+	}
+	if e.HasEdge(3, 5) {
+		t.Fatal("Discard applied the buffered update")
+	}
+	if e.HasEdge(0, 1) || !e.HasEdge(0, 2) {
+		t.Fatal("flushed window's updates lost")
+	}
+	if err := e.Check(); err != nil {
+		t.Fatalf("invariant after Discard (in-flight repair not joined?): %v", err)
+	}
+	// The batcher stays usable after Discard.
+	if _, flushed, err := b.Add(DelEdge(4, 5)); err != nil || flushed {
+		t.Fatalf("Add after Discard: flushed=%v err=%v", flushed, err)
+	}
+	if bs, err := b.Flush(); err != nil || bs.Updates != 1 {
+		t.Fatalf("Flush after Discard: bs=%+v err=%v", bs, err)
+	}
+	if e.HasEdge(4, 5) {
+		t.Fatal("post-Discard update not applied")
+	}
+	if err := e.Check(); err != nil {
+		t.Fatalf("invariant after post-Discard flush: %v", err)
+	}
+}

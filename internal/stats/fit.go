@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Fitting primitives for the analytical twin (internal/twin): least-squares
+// estimation of the constant in y ≈ c·φ(n) and goodness-of-fit measures.
+// Degenerate inputs return explicit errors instead of NaN/Inf, so callers
+// can distinguish "the model does not apply" from "the fit is poor".
+var (
+	// ErrTooFewPoints is returned when a fit needs at least two
+	// observations and got fewer.
+	ErrTooFewPoints = errors.New("stats: need at least 2 points")
+	// ErrConstantSeries is returned when a quality measure (R²) is
+	// undefined because the observed series has zero variance.
+	ErrConstantSeries = errors.New("stats: series is constant (zero variance)")
+	// ErrDegenerateBasis is returned when the basis vector is identically
+	// zero, so no constant can be identified.
+	ErrDegenerateBasis = errors.New("stats: basis is identically zero")
+	// ErrBadValue is returned when an input contains NaN or Inf.
+	ErrBadValue = errors.New("stats: NaN or Inf in input")
+)
+
+func checkFinite(xs ...[]float64) error {
+	for _, s := range xs {
+		for i, v := range s {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("%w (index %d)", ErrBadValue, i)
+			}
+		}
+	}
+	return nil
+}
+
+// FitProportional estimates c in the one-basis model y ≈ c·φ by least
+// squares through the origin: c = Σφᵢyᵢ / Σφᵢ². The inputs must have equal
+// length ≥ 2 and be finite; a zero basis yields ErrDegenerateBasis.
+func FitProportional(phi, y []float64) (float64, error) {
+	if len(phi) != len(y) {
+		return 0, fmt.Errorf("stats: basis has %d points, series has %d", len(phi), len(y))
+	}
+	if len(y) < 2 {
+		return 0, fmt.Errorf("%w (got %d)", ErrTooFewPoints, len(y))
+	}
+	if err := checkFinite(phi, y); err != nil {
+		return 0, err
+	}
+	var sxy, sxx float64
+	for i := range phi {
+		sxy += phi[i] * y[i]
+		sxx += phi[i] * phi[i]
+	}
+	if sxx == 0 {
+		return 0, ErrDegenerateBasis
+	}
+	return sxy / sxx, nil
+}
+
+// RSquared is the coefficient of determination of pred against the
+// observed y: 1 − SSres/SStot. It is undefined (ErrConstantSeries) when y
+// has zero variance — for constant-shape models use MaxRelResidual
+// instead. Negative values are valid: the model fits worse than the mean.
+func RSquared(y, pred []float64) (float64, error) {
+	if len(y) != len(pred) {
+		return 0, fmt.Errorf("stats: series has %d points, prediction has %d", len(y), len(pred))
+	}
+	if len(y) < 2 {
+		return 0, fmt.Errorf("%w (got %d)", ErrTooFewPoints, len(y))
+	}
+	if err := checkFinite(y, pred); err != nil {
+		return 0, err
+	}
+	var mean float64
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(len(y))
+	var ssTot, ssRes float64
+	for i := range y {
+		dt := y[i] - mean
+		dr := y[i] - pred[i]
+		ssTot += dt * dt
+		ssRes += dr * dr
+	}
+	if ssTot == 0 {
+		return 0, ErrConstantSeries
+	}
+	return 1 - ssRes/ssTot, nil
+}
+
+// MaxRelResidual is the largest relative deviation of the observations
+// from their predictions: max |yᵢ−predᵢ| / |predᵢ|. It requires at least
+// one point and nonzero predictions (a model predicting zero cannot be
+// deviated from relatively).
+func MaxRelResidual(y, pred []float64) (float64, error) {
+	if len(y) != len(pred) {
+		return 0, fmt.Errorf("stats: series has %d points, prediction has %d", len(y), len(pred))
+	}
+	if len(y) == 0 {
+		return 0, fmt.Errorf("%w (got 0)", ErrTooFewPoints)
+	}
+	if err := checkFinite(y, pred); err != nil {
+		return 0, err
+	}
+	var worst float64
+	for i := range y {
+		if pred[i] == 0 {
+			return 0, fmt.Errorf("%w (prediction %d is zero)", ErrDegenerateBasis, i)
+		}
+		if r := math.Abs(y[i]-pred[i]) / math.Abs(pred[i]); r > worst {
+			worst = r
+		}
+	}
+	return worst, nil
+}

@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestFitProportionalRecoversConstant(t *testing.T) {
+	phi := []float64{1, 2, 3, 4}
+	y := []float64{3, 6, 9, 12}
+	c, err := FitProportional(phi, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c-3) > 1e-12 {
+		t.Fatalf("c = %v, want 3", c)
+	}
+	// Noisy series: least squares, not interpolation.
+	c, err = FitProportional(phi, []float64{3.1, 5.9, 9.2, 11.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c-3) > 0.05 {
+		t.Fatalf("noisy c = %v, want ≈3", c)
+	}
+}
+
+func TestFitProportionalEdgeCases(t *testing.T) {
+	// n < 2 is an explicit error, not a NaN.
+	if _, err := FitProportional([]float64{1}, []float64{2}); !errors.Is(err, ErrTooFewPoints) {
+		t.Fatalf("single point: err = %v, want ErrTooFewPoints", err)
+	}
+	if _, err := FitProportional(nil, nil); !errors.Is(err, ErrTooFewPoints) {
+		t.Fatalf("empty: err = %v, want ErrTooFewPoints", err)
+	}
+	// Mismatched lengths.
+	if _, err := FitProportional([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("mismatched lengths: want error")
+	}
+	// All-zero basis cannot identify a constant.
+	if _, err := FitProportional([]float64{0, 0}, []float64{1, 2}); !errors.Is(err, ErrDegenerateBasis) {
+		t.Fatalf("zero basis: err = %v, want ErrDegenerateBasis", err)
+	}
+	// NaN/Inf inputs are rejected, never propagated.
+	if _, err := FitProportional([]float64{1, math.NaN()}, []float64{1, 2}); !errors.Is(err, ErrBadValue) {
+		t.Fatalf("NaN basis: err = %v, want ErrBadValue", err)
+	}
+	if _, err := FitProportional([]float64{1, 2}, []float64{1, math.Inf(1)}); !errors.Is(err, ErrBadValue) {
+		t.Fatalf("Inf series: err = %v, want ErrBadValue", err)
+	}
+	// A constant-shape fit (φ ≡ 1) is fine: it is the mean.
+	c, err := FitProportional([]float64{1, 1, 1}, []float64{4, 5, 6})
+	if err != nil || math.Abs(c-5) > 1e-12 {
+		t.Fatalf("mean fit: c=%v err=%v, want 5", c, err)
+	}
+}
+
+func TestRSquared(t *testing.T) {
+	y := []float64{3, 6, 9, 12}
+	r2, err := RSquared(y, y)
+	if err != nil || math.Abs(r2-1) > 1e-12 {
+		t.Fatalf("perfect fit: r2=%v err=%v", r2, err)
+	}
+	// Predicting the mean gives exactly 0.
+	r2, err = RSquared(y, []float64{7.5, 7.5, 7.5, 7.5})
+	if err != nil || math.Abs(r2) > 1e-12 {
+		t.Fatalf("mean prediction: r2=%v err=%v, want 0", r2, err)
+	}
+	// A fit worse than the mean is negative, not clamped.
+	r2, err = RSquared(y, []float64{12, 9, 6, 3})
+	if err != nil || r2 >= 0 {
+		t.Fatalf("anti-fit: r2=%v err=%v, want negative", r2, err)
+	}
+}
+
+func TestRSquaredEdgeCases(t *testing.T) {
+	// A constant observed series has zero variance: R² is undefined and
+	// must be an explicit error, not a NaN or ±Inf.
+	if _, err := RSquared([]float64{5, 5, 5}, []float64{5, 5, 5}); !errors.Is(err, ErrConstantSeries) {
+		t.Fatalf("constant series: err = %v, want ErrConstantSeries", err)
+	}
+	if _, err := RSquared([]float64{5}, []float64{5}); !errors.Is(err, ErrTooFewPoints) {
+		t.Fatalf("single point: err = %v, want ErrTooFewPoints", err)
+	}
+	if _, err := RSquared([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("mismatched lengths: want error")
+	}
+	if _, err := RSquared([]float64{1, math.NaN()}, []float64{1, 2}); !errors.Is(err, ErrBadValue) {
+		t.Fatalf("NaN input: err = %v, want ErrBadValue", err)
+	}
+}
+
+func TestMaxRelResidual(t *testing.T) {
+	got, err := MaxRelResidual([]float64{10, 22}, []float64{10, 20})
+	if err != nil || math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("resid=%v err=%v, want 0.1", got, err)
+	}
+	if _, err := MaxRelResidual(nil, nil); !errors.Is(err, ErrTooFewPoints) {
+		t.Fatalf("empty: err = %v, want ErrTooFewPoints", err)
+	}
+	if _, err := MaxRelResidual([]float64{1}, []float64{0}); !errors.Is(err, ErrDegenerateBasis) {
+		t.Fatalf("zero prediction: err = %v, want ErrDegenerateBasis", err)
+	}
+}

@@ -1,0 +1,10 @@
+// Package twin is the analytical twin of the simulator: it encodes the
+// paper's closed-form complexity claims (Theorems 1.1/1.2 and the Section
+// 4 averaged variants) as per-algorithm × per-metric growth shapes, fits
+// their constants from multi-size sweep measurements by least squares
+// (internal/stats), and evaluates fresh measurements against a committed
+// TWIN_MIS.json baseline with tolerance bands. Because every measurement
+// is deterministic in (graph, algorithm, seed), a curve leaving its band
+// means the simulated algorithm itself changed shape — drift that
+// byte-identical differential tests cannot express. See docs/TWIN.md.
+package twin

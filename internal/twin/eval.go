@@ -1,0 +1,205 @@
+package twin
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Finding is the comparison of one re-fitted entry against its baseline:
+// constant drift, the worst per-point drift, residual growth, and the
+// out-of-band verdict with its reasons.
+type Finding struct {
+	Key   string
+	Shape ShapeID
+
+	BaseConstant float64
+	CurConstant  float64
+	// ConstantDrift is |cur−base|/base.
+	ConstantDrift float64
+
+	// MaxPointDrift is the worst relative deviation of a current point
+	// from the baseline's measurement at the same n; WorstN is that size.
+	MaxPointDrift float64
+	WorstN        int
+
+	// R2 and MaxRelResidual describe the current fit's quality.
+	R2             float64
+	R2OK           bool
+	BaseResidual   float64
+	MaxRelResidual float64
+
+	OutOfBand bool
+	Reasons   []string
+}
+
+// Evaluation is the outcome of evaluating a re-fitted baseline against
+// the committed one.
+type Evaluation struct {
+	Findings []Finding
+	// Missing lists committed entries the current fit did not produce;
+	// Extra lists current entries absent from the baseline. Missing
+	// entries fail the gate (the claim went unmeasured), extra ones are
+	// informational (a new algorithm awaiting a regenerated baseline).
+	Missing []string
+	Extra   []string
+}
+
+// OutOfBand reports whether the fitness gate should fail.
+func (e *Evaluation) OutOfBand() bool {
+	if len(e.Missing) > 0 {
+		return true
+	}
+	for i := range e.Findings {
+		if e.Findings[i].OutOfBand {
+			return true
+		}
+	}
+	return false
+}
+
+func relDrift(base, cur float64) float64 {
+	if base == 0 {
+		if cur == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(cur-base) / math.Abs(base)
+}
+
+// Evaluate compares cur (a fresh CollectAndFit over the baseline's sweep
+// spec) against the committed base, entry by entry. The sweeps must match
+// — comparing constants fitted at different sizes would confuse
+// pre-asymptotic terms with drift.
+func Evaluate(base, cur *Baseline) (*Evaluation, error) {
+	if fmt.Sprintf("%+v", base.Sweep) != fmt.Sprintf("%+v", cur.Sweep) {
+		return nil, fmt.Errorf("twin: sweep specs differ: baseline %+v vs current %+v", base.Sweep, cur.Sweep)
+	}
+	ev := &Evaluation{}
+	seen := map[string]bool{}
+	for i := range base.Entries {
+		be := &base.Entries[i]
+		ce := cur.Entry(be.Key())
+		if ce == nil {
+			ev.Missing = append(ev.Missing, be.Key())
+			continue
+		}
+		seen[be.Key()] = true
+		f := Finding{
+			Key:            be.Key(),
+			Shape:          be.Shape,
+			BaseConstant:   be.Constant,
+			CurConstant:    ce.Constant,
+			ConstantDrift:  relDrift(be.Constant, ce.Constant),
+			R2:             ce.R2,
+			R2OK:           ce.R2OK,
+			BaseResidual:   be.MaxRelResidual,
+			MaxRelResidual: ce.MaxRelResidual,
+		}
+		basePoints := map[int]float64{}
+		for _, p := range be.Points {
+			basePoints[p.N] = p.Value
+		}
+		for _, p := range ce.Points {
+			bv, ok := basePoints[p.N]
+			if !ok {
+				continue
+			}
+			if d := relDrift(bv, p.Value); d > f.MaxPointDrift {
+				f.MaxPointDrift, f.WorstN = d, p.N
+			}
+			delete(basePoints, p.N)
+		}
+		if len(basePoints) > 0 {
+			var ns []int
+			for n := range basePoints {
+				ns = append(ns, n)
+			}
+			sort.Ints(ns)
+			f.Reasons = append(f.Reasons, fmt.Sprintf("baseline sizes %v not measured", ns))
+		}
+		if f.ConstantDrift > be.Bands.Constant {
+			f.Reasons = append(f.Reasons, fmt.Sprintf("constant drift %.1f%% > band %.0f%%",
+				f.ConstantDrift*100, be.Bands.Constant*100))
+		}
+		if f.MaxPointDrift > be.Bands.Point {
+			f.Reasons = append(f.Reasons, fmt.Sprintf("point drift %.1f%% at n=%d > band %.0f%%",
+				f.MaxPointDrift*100, f.WorstN, be.Bands.Point*100))
+		}
+		if f.MaxRelResidual > be.MaxRelResidual+be.Bands.Shape {
+			f.Reasons = append(f.Reasons, fmt.Sprintf("fit residual %.2f > baseline %.2f + %.2f: curve left its %s shape",
+				f.MaxRelResidual, be.MaxRelResidual, be.Bands.Shape, be.Shape))
+		}
+		f.OutOfBand = len(f.Reasons) > 0
+		ev.Findings = append(ev.Findings, f)
+	}
+	for i := range cur.Entries {
+		if !seen[cur.Entries[i].Key()] && base.Entry(cur.Entries[i].Key()) == nil {
+			ev.Extra = append(ev.Extra, cur.Entries[i].Key())
+		}
+	}
+	if len(ev.Findings) == 0 {
+		return nil, fmt.Errorf("twin: no entries in common between baseline (%d) and current fit (%d)",
+			len(base.Entries), len(cur.Entries))
+	}
+	return ev, nil
+}
+
+// Format writes the evaluation as a human-readable residual table,
+// out-of-band findings called out.
+func (e *Evaluation) Format(w io.Writer) {
+	fmt.Fprintf(w, "%-28s %-24s %12s %12s %7s %7s %7s %6s\n",
+		"model", "shape", "base c", "cur c", "Δc%", "Δpt%", "resid", "R²")
+	for i := range e.Findings {
+		f := &e.Findings[i]
+		r2 := "  —"
+		if f.R2OK {
+			r2 = fmt.Sprintf("%6.3f", f.R2)
+		}
+		mark := ""
+		if f.OutOfBand {
+			mark = "  OUT-OF-BAND: " + strings.Join(f.Reasons, "; ")
+		}
+		fmt.Fprintf(w, "%-28s %-24s %12.3f %12.3f %6.1f%% %6.1f%% %7.3f %6s%s\n",
+			f.Key, f.Shape.String(), f.BaseConstant, f.CurConstant,
+			f.ConstantDrift*100, f.MaxPointDrift*100, f.MaxRelResidual, r2, mark)
+	}
+	if len(e.Missing) > 0 {
+		fmt.Fprintf(w, "\nmissing from current fit (gate fails): %v\n", e.Missing)
+	}
+	if len(e.Extra) > 0 {
+		fmt.Fprintf(w, "\nnew models without a baseline (regenerate TWIN_MIS.json): %v\n", e.Extra)
+	}
+	n := 0
+	for i := range e.Findings {
+		if e.Findings[i].OutOfBand {
+			n++
+		}
+	}
+	if e.OutOfBand() {
+		fmt.Fprintf(w, "\nFAIL: %d model(s) out of band — the measured curves no longer match the committed analytical twin\n", n+len(e.Missing))
+	} else {
+		fmt.Fprintf(w, "\nOK: %d model(s) inside their tolerance bands\n", len(e.Findings))
+	}
+}
+
+// WriteCSV emits the residual table as CSV — the CI artifact.
+func (e *Evaluation) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w,
+		"model,shape,base_constant,cur_constant,constant_drift,max_point_drift,worst_n,max_rel_residual,base_residual,r2,r2_ok,out_of_band,reasons"); err != nil {
+		return err
+	}
+	for i := range e.Findings {
+		f := &e.Findings[i]
+		if _, err := fmt.Fprintf(w, "%s,%s,%g,%g,%g,%g,%d,%g,%g,%g,%t,%t,%q\n",
+			f.Key, f.Shape, f.BaseConstant, f.CurConstant, f.ConstantDrift,
+			f.MaxPointDrift, f.WorstN, f.MaxRelResidual, f.BaseResidual,
+			f.R2, f.R2OK, f.OutOfBand, strings.Join(f.Reasons, "; ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

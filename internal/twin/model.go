@@ -1,0 +1,169 @@
+package twin
+
+import (
+	"fmt"
+	"math"
+)
+
+// ShapeID names a closed-form growth shape φ(n). Shapes evaluate in
+// log base 2, matching the paper's round bounds.
+type ShapeID string
+
+// The shape vocabulary of the paper's bounds.
+const (
+	// ShapeConst is φ(n) = 1 — the O(1) claims (node-averaged energy of
+	// the Avg variants).
+	ShapeConst ShapeID = "const"
+	// ShapeLogN is φ(n) = log n — Luby's round and energy complexity.
+	ShapeLogN ShapeID = "log_n"
+	// ShapeLog2N is φ(n) = log² n — Theorem 1.1's round complexity.
+	ShapeLog2N ShapeID = "log2_n"
+	// ShapeLogLogN is φ(n) = log log n — Theorem 1.1's awake complexity.
+	ShapeLogLogN ShapeID = "loglog_n"
+	// ShapeLogLog2N is φ(n) = (log log n)² — Theorem 1.2's awake bound.
+	ShapeLogLog2N ShapeID = "loglog2_n"
+	// ShapeLogLogLogStarN is φ(n) = log n·log log n·log* n — Theorem
+	// 1.2's round complexity.
+	ShapeLogLogLogStarN ShapeID = "logn_loglogn_logstar_n"
+	// ShapeN is φ(n) = n — totals that scale with the node count at a
+	// fixed average degree (message volume).
+	ShapeN ShapeID = "n"
+)
+
+// Eval returns φ(n). Sizes below 4 are clamped so the iterated logs stay
+// positive; the sweeps never run that small.
+func (s ShapeID) Eval(n int) float64 {
+	if n < 4 {
+		n = 4
+	}
+	ln := math.Log2(float64(n))
+	switch s {
+	case ShapeConst:
+		return 1
+	case ShapeLogN:
+		return ln
+	case ShapeLog2N:
+		return ln * ln
+	case ShapeLogLogN:
+		return math.Log2(ln)
+	case ShapeLogLog2N:
+		ll := math.Log2(ln)
+		return ll * ll
+	case ShapeLogLogLogStarN:
+		return ln * math.Log2(ln) * float64(logStar(float64(n)))
+	case ShapeN:
+		return float64(n)
+	}
+	return math.NaN()
+}
+
+// String renders the shape in the paper's notation.
+func (s ShapeID) String() string {
+	switch s {
+	case ShapeConst:
+		return "O(1)"
+	case ShapeLogN:
+		return "log n"
+	case ShapeLog2N:
+		return "log² n"
+	case ShapeLogLogN:
+		return "log log n"
+	case ShapeLogLog2N:
+		return "log² log n"
+	case ShapeLogLogLogStarN:
+		return "log n·log log n·log* n"
+	case ShapeN:
+		return "n"
+	}
+	return string(s)
+}
+
+// Valid reports whether the shape is part of the vocabulary (a baseline
+// written by a newer binary could carry shapes this one cannot evaluate).
+func (s ShapeID) Valid() bool { return !math.IsNaN(s.Eval(16)) }
+
+// logStar is the iterated logarithm: the number of times log2 must be
+// applied before the value drops to ≤ 1.
+func logStar(x float64) int {
+	k := 0
+	for x > 1 {
+		x = math.Log2(x)
+		k++
+	}
+	return k
+}
+
+// Metric names one measured quantity of a run.
+type Metric string
+
+// The modeled metrics. Each is deterministic in (graph, algorithm, seed).
+const (
+	MetricRounds   Metric = "rounds"    // time complexity
+	MetricAwakeMax Metric = "awake_max" // worst-case energy
+	MetricAwakeAvg Metric = "awake_avg" // node-averaged energy
+	MetricMessages Metric = "messages"  // total CONGEST messages
+)
+
+// Metrics lists the modeled metrics in canonical order.
+func Metrics() []Metric {
+	return []Metric{MetricRounds, MetricAwakeMax, MetricAwakeAvg, MetricMessages}
+}
+
+// Model declares the expected closed form of one algorithm × metric on
+// the bounded-degree random families the sweeps run (fixed average
+// degree, so message totals are linear in n).
+type Model struct {
+	Algorithm string // energymis.Algorithm.String() name
+	Metric    Metric
+	Shape     ShapeID
+	Claim     string // the paper statement the shape encodes
+}
+
+// Key identifies the model across baselines.
+func (m Model) Key() string { return m.Algorithm + "/" + string(m.Metric) }
+
+// Registry returns the analytical models for every public algorithm. The
+// shapes are the paper's asymptotic claims; the fitted constants and R²
+// recorded in TWIN_MIS.json document how far the measured sizes are from
+// the asymptotic regime.
+func Registry() []Model {
+	type row struct {
+		algo                             string
+		rounds, awakeMax, awakeAvg, msgs ShapeID
+		claim                            string
+	}
+	rows := []row{
+		{"luby", ShapeLogN, ShapeLogN, ShapeConst, ShapeN,
+			"Luby [Lub86]: O(log n) rounds, energy = time"},
+		{"regularized-luby", ShapeLogN, ShapeLogN, ShapeLogLogN, ShapeN,
+			"Section 2.1: slowed Luby, O(log n) stages, energy still grows"},
+		{"algorithm1", ShapeLog2N, ShapeLogLogN, ShapeConst, ShapeN,
+			"Theorem 1.1: O(log² n) rounds, O(log log n) awake rounds"},
+		{"algorithm2", ShapeLogLogLogStarN, ShapeLogLog2N, ShapeConst, ShapeN,
+			"Theorem 1.2: O(log n·log log n·log* n) rounds, O(log² log n) awake"},
+		{"algorithm1-avg", ShapeLog2N, ShapeLogLogN, ShapeConst, ShapeN,
+			"Section 4 over Theorem 1.1: O(1) node-averaged awake rounds"},
+		{"algorithm2-avg", ShapeLogLogLogStarN, ShapeLogLog2N, ShapeConst, ShapeN,
+			"Section 4 over Theorem 1.2: O(1) node-averaged awake rounds"},
+	}
+	var out []Model
+	for _, r := range rows {
+		out = append(out,
+			Model{r.algo, MetricRounds, r.rounds, r.claim},
+			Model{r.algo, MetricAwakeMax, r.awakeMax, r.claim},
+			Model{r.algo, MetricAwakeAvg, r.awakeAvg, r.claim},
+			Model{r.algo, MetricMessages, r.msgs, r.claim},
+		)
+	}
+	return out
+}
+
+// Lookup finds the registry model for an algorithm × metric pair.
+func Lookup(algorithm string, metric Metric) (Model, error) {
+	for _, m := range Registry() {
+		if m.Algorithm == algorithm && m.Metric == metric {
+			return m, nil
+		}
+	}
+	return Model{}, fmt.Errorf("twin: no model for %s/%s", algorithm, metric)
+}

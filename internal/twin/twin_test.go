@@ -1,0 +1,377 @@
+package twin
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	energymis "github.com/energymis/energymis"
+)
+
+// syntheticMeasurements builds exact c·φ(n) series for every registry
+// model, so fits must recover the constants to machine precision.
+func syntheticMeasurements(sizes []int, constants map[string]float64) Measurements {
+	ms := Measurements{}
+	for _, m := range Registry() {
+		c := constants[m.Key()]
+		if c == 0 {
+			c = 2.5
+		}
+		series := ms[m.Algorithm]
+		if series == nil {
+			series = map[Metric][]Point{}
+			ms[m.Algorithm] = series
+		}
+		for _, n := range sizes {
+			series[m.Metric] = append(series[m.Metric], Point{N: n, Value: c * m.Shape.Eval(n)})
+		}
+	}
+	return ms
+}
+
+func testSpec() SweepSpec {
+	return SweepSpec{Family: "gnp", AvgDeg: 10, Sizes: []int{1024, 4096, 16384}, Seeds: 1}
+}
+
+func TestRegistryCoversEveryAlgorithmAndMetric(t *testing.T) {
+	want := map[string]bool{}
+	for _, algo := range energymis.Algorithms() {
+		for _, metric := range Metrics() {
+			want[algo.String()+"/"+string(metric)] = true
+		}
+	}
+	for _, m := range Registry() {
+		if !want[m.Key()] {
+			t.Errorf("registry model %s does not match a public algorithm × metric", m.Key())
+		}
+		delete(want, m.Key())
+		if !m.Shape.Valid() {
+			t.Errorf("model %s has invalid shape %q", m.Key(), m.Shape)
+		}
+	}
+	for k := range want {
+		t.Errorf("registry missing model %s", k)
+	}
+	if _, err := Lookup("algorithm1", MetricAwakeMax); err != nil {
+		t.Errorf("Lookup(algorithm1, awake_max): %v", err)
+	}
+	if _, err := Lookup("nope", MetricRounds); err == nil {
+		t.Error("Lookup of unknown algorithm succeeded")
+	}
+}
+
+func TestShapesGrowMonotonically(t *testing.T) {
+	for _, s := range []ShapeID{ShapeLogN, ShapeLog2N, ShapeLogLogN, ShapeLogLog2N, ShapeLogLogLogStarN, ShapeN} {
+		prev := 0.0
+		for _, n := range []int{256, 1024, 4096, 65536, 1 << 20} {
+			v := s.Eval(n)
+			if !(v > prev) {
+				t.Errorf("shape %s not increasing at n=%d: %v -> %v", s, n, prev, v)
+			}
+			prev = v
+		}
+	}
+	if ShapeConst.Eval(10) != 1 || ShapeConst.Eval(1<<20) != 1 {
+		t.Error("const shape must be 1 everywhere")
+	}
+	if ShapeID("frobnicate").Valid() {
+		t.Error("unknown shape reported valid")
+	}
+}
+
+func TestFitRecoversSyntheticConstants(t *testing.T) {
+	spec := testSpec()
+	constants := map[string]float64{
+		"luby/rounds":          2.1,
+		"algorithm1/rounds":    4.0,
+		"algorithm1/awake_max": 19.0,
+	}
+	b, err := FitAll(spec, syntheticMeasurements(spec.Sizes, constants))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Entries) != len(Registry()) {
+		t.Fatalf("fitted %d entries, want %d", len(b.Entries), len(Registry()))
+	}
+	for key, want := range constants {
+		e := b.Entry(key)
+		if e == nil {
+			t.Fatalf("no entry %s", key)
+		}
+		if math.Abs(e.Constant-want) > 1e-9 {
+			t.Errorf("%s constant = %v, want %v", key, e.Constant, want)
+		}
+		if e.MaxRelResidual > 1e-9 {
+			t.Errorf("%s residual = %v on exact data", key, e.MaxRelResidual)
+		}
+		if e.Shape != ShapeConst && (!e.R2OK || math.Abs(e.R2-1) > 1e-9) {
+			t.Errorf("%s R² = %v (ok=%v), want 1 on exact data", key, e.R2, e.R2OK)
+		}
+	}
+	// Constant shapes must not claim a defined R².
+	if e := b.Entry("luby/awake_avg"); e == nil || e.R2OK {
+		t.Errorf("const-shape entry should have R2OK=false, got %+v", e)
+	}
+}
+
+func TestFitAllMissingAlgorithmFails(t *testing.T) {
+	spec := testSpec()
+	ms := syntheticMeasurements(spec.Sizes, nil)
+	delete(ms, "algorithm2")
+	if _, err := FitAll(spec, ms); err == nil || !strings.Contains(err.Error(), "algorithm2") {
+		t.Fatalf("missing algorithm: err = %v", err)
+	}
+	// A single-size sweep cannot identify a growth constant.
+	one := SweepSpec{Family: "gnp", AvgDeg: 10, Sizes: []int{1024}, Seeds: 1}
+	if _, err := FitAll(one, syntheticMeasurements(one.Sizes, nil)); err == nil {
+		t.Fatal("single-point fit succeeded")
+	}
+}
+
+func TestEvaluateIdenticalIsInBand(t *testing.T) {
+	spec := testSpec()
+	ms := syntheticMeasurements(spec.Sizes, nil)
+	base, err := FitAll(spec, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := FitAll(spec, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := Evaluate(base, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.OutOfBand() {
+		var buf bytes.Buffer
+		ev.Format(&buf)
+		t.Fatalf("identical measurements flagged out of band:\n%s", buf.String())
+	}
+	var buf bytes.Buffer
+	ev.Format(&buf)
+	if !strings.Contains(buf.String(), "OK:") {
+		t.Errorf("format missing OK verdict:\n%s", buf.String())
+	}
+}
+
+// TestEvaluateFlagsPerturbedConstant is the acceptance fixture: a
+// deliberately perturbed baseline constant — the committed twin claiming
+// a different curve than the measured one — must be flagged out-of-band.
+func TestEvaluateFlagsPerturbedConstant(t *testing.T) {
+	spec := testSpec()
+	ms := syntheticMeasurements(spec.Sizes, nil)
+	base, err := FitAll(spec, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := FitAll(spec, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perturb Theorem 1.1's round constant by 1.5× — far past the 10%
+	// band. Only the constant moves; the stored points stay, as if an
+	// optimization had changed the algorithm the constant was fitted on.
+	pe := base.Entry("algorithm1/rounds")
+	pe.Constant *= 1.5
+	ev, err := Evaluate(base, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ev.OutOfBand() {
+		t.Fatal("perturbed constant not flagged out of band")
+	}
+	found := false
+	for _, f := range ev.Findings {
+		if f.Key == "algorithm1/rounds" {
+			found = true
+			if !f.OutOfBand {
+				t.Fatal("algorithm1/rounds finding not out of band")
+			}
+			if len(f.Reasons) == 0 || !strings.Contains(f.Reasons[0], "constant drift") {
+				t.Fatalf("reasons = %v, want constant drift", f.Reasons)
+			}
+		} else if f.OutOfBand {
+			t.Errorf("unperturbed %s flagged: %v", f.Key, f.Reasons)
+		}
+	}
+	if !found {
+		t.Fatal("no finding for algorithm1/rounds")
+	}
+	var buf bytes.Buffer
+	ev.Format(&buf)
+	if !strings.Contains(buf.String(), "OUT-OF-BAND") || !strings.Contains(buf.String(), "FAIL:") {
+		t.Errorf("format missing out-of-band verdict:\n%s", buf.String())
+	}
+	var csv bytes.Buffer
+	if err := ev.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csv.String(), "algorithm1/rounds") || !strings.Contains(csv.String(), "true") {
+		t.Errorf("CSV missing flagged row:\n%s", csv.String())
+	}
+}
+
+// TestEvaluateFlagsShapeDrift: same fitted constant, different growth
+// curve — the residual band must catch what the constant band cannot.
+func TestEvaluateFlagsShapeDrift(t *testing.T) {
+	spec := testSpec()
+	ms := syntheticMeasurements(spec.Sizes, nil)
+	base, err := FitAll(spec, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replace algorithm1's rounds with a series growing like log³ n,
+	// rescaled so the fitted log²n constant stays inside the band.
+	drifted := syntheticMeasurements(spec.Sizes, nil)
+	var phiSum, psiSum float64
+	for _, n := range spec.Sizes {
+		ln := math.Log2(float64(n))
+		phiSum += ln * ln
+		psiSum += ln * ln * ln
+	}
+	scale := phiSum / psiSum // matches the least-squares constant on average
+	var pts []Point
+	for _, n := range spec.Sizes {
+		ln := math.Log2(float64(n))
+		pts = append(pts, Point{N: n, Value: 2.5 * scale * ln * ln * ln})
+	}
+	drifted["algorithm1"][MetricRounds] = pts
+	cur, err := FitAll(spec, drifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := Evaluate(base, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f *Finding
+	for i := range ev.Findings {
+		if ev.Findings[i].Key == "algorithm1/rounds" {
+			f = &ev.Findings[i]
+		}
+	}
+	if f == nil || !f.OutOfBand {
+		t.Fatalf("shape drift not flagged: %+v", f)
+	}
+}
+
+func TestEvaluateRejectsMismatchedSweeps(t *testing.T) {
+	spec := testSpec()
+	ms := syntheticMeasurements(spec.Sizes, nil)
+	base, _ := FitAll(spec, ms)
+	other := spec
+	other.Sizes = []int{512, 2048}
+	cur, _ := FitAll(other, syntheticMeasurements(other.Sizes, nil))
+	if _, err := Evaluate(base, cur); err == nil {
+		t.Fatal("mismatched sweep specs accepted")
+	}
+}
+
+func TestEvaluateMissingEntryFailsGate(t *testing.T) {
+	spec := testSpec()
+	ms := syntheticMeasurements(spec.Sizes, nil)
+	base, _ := FitAll(spec, ms)
+	cur, _ := FitAll(spec, ms)
+	cur.Entries = cur.Entries[:len(cur.Entries)-1]
+	ev, err := Evaluate(base, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ev.OutOfBand() || len(ev.Missing) != 1 {
+		t.Fatalf("missing entry not flagged: missing=%v", ev.Missing)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	spec := testSpec()
+	b, err := FitAll(spec, syntheticMeasurements(spec.Sizes, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "TWIN_MIS.json")
+	if err := WriteBaseline(path, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Entries) != len(b.Entries) || got.Sweep.Family != spec.Family {
+		t.Fatalf("round trip mangled baseline: %d entries, sweep %+v", len(got.Entries), got.Sweep)
+	}
+	ev, err := Evaluate(b, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.OutOfBand() {
+		t.Fatal("round-tripped baseline out of band against itself")
+	}
+	// Schema version mismatches are refused.
+	got.SchemaVersion = 99
+	if err := WriteBaseline(path, got); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBaseline(path); err == nil {
+		t.Fatal("schema mismatch accepted")
+	}
+}
+
+// TestCollectAndFitSmoke runs a tiny real sweep end to end: every
+// algorithm, two sizes, verified outputs, all registry models fitted.
+// Also pins determinism: two collects produce identical measurements.
+func TestCollectAndFitSmoke(t *testing.T) {
+	spec := SweepSpec{Family: "gnp", AvgDeg: 8, Sizes: []int{256, 512}, Seeds: 1}
+	b1, err := CollectAndFit(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := CollectAndFit(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := Evaluate(b1, b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.OutOfBand() {
+		var buf bytes.Buffer
+		ev.Format(&buf)
+		t.Fatalf("repeated collect drifted — measurements are not deterministic:\n%s", buf.String())
+	}
+	for _, e := range b1.Entries {
+		if e.Constant <= 0 {
+			t.Errorf("%s fitted non-positive constant %v", e.Key(), e.Constant)
+		}
+	}
+}
+
+func TestFamilyGraphs(t *testing.T) {
+	for _, fam := range Families() {
+		spec := SweepSpec{Family: fam, AvgDeg: 8, Sizes: []int{256}, Seeds: 1}
+		g, err := FamilyGraph(spec, 256)
+		if err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+		if g.N() < 200 || g.M() == 0 {
+			t.Errorf("%s: degenerate graph n=%d m=%d", fam, g.N(), g.M())
+		}
+	}
+	if _, err := FamilyGraph(SweepSpec{Family: "nope"}, 256); err == nil {
+		t.Error("unknown family accepted")
+	}
+}
+
+func TestSpecScale(t *testing.T) {
+	s := DefaultSpec().Scale(0.25)
+	if s.Sizes[0] != 256 {
+		t.Fatalf("scaled sizes = %v, want floor 256", s.Sizes)
+	}
+	for i := 1; i < len(s.Sizes); i++ {
+		if s.Sizes[i] <= s.Sizes[i-1] {
+			t.Fatalf("scaled sizes not strictly ascending: %v", s.Sizes)
+		}
+	}
+}
